@@ -1,0 +1,272 @@
+package vna
+
+// The benchmark harness: one benchmark per paper figure (fig01..fig26,
+// figure 17 being a diagram), plus micro-benchmarks of the hot paths and
+// the ablation benches called out in DESIGN.md §5.
+//
+// Figure benches run the registered experiment at the minimal Bench
+// preset: they measure the cost of regenerating a figure's data (and keep
+// every attack path exercised under -bench). To regenerate figures at
+// paper scale, use: go run repro/cmd/vna-sim -exp all -preset full
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/experiment"
+	"repro/internal/gnp"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/nps"
+	"repro/internal/optimize"
+	"repro/internal/vivaldi"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	reg, ok := experiment.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := reg.Run(experiment.Bench)
+		if len(res.Series) == 0 {
+			b.Fatalf("%s produced no series", id)
+		}
+	}
+}
+
+// One benchmark per evaluation figure.
+
+func BenchmarkFig01(b *testing.B) { benchFigure(b, "fig01") }
+func BenchmarkFig02(b *testing.B) { benchFigure(b, "fig02") }
+func BenchmarkFig03(b *testing.B) { benchFigure(b, "fig03") }
+func BenchmarkFig04(b *testing.B) { benchFigure(b, "fig04") }
+func BenchmarkFig05(b *testing.B) { benchFigure(b, "fig05") }
+func BenchmarkFig06(b *testing.B) { benchFigure(b, "fig06") }
+func BenchmarkFig07(b *testing.B) { benchFigure(b, "fig07") }
+func BenchmarkFig08(b *testing.B) { benchFigure(b, "fig08") }
+func BenchmarkFig09(b *testing.B) { benchFigure(b, "fig09") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchFigure(b, "fig16") }
+func BenchmarkFig18(b *testing.B) { benchFigure(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchFigure(b, "fig19") }
+func BenchmarkFig20(b *testing.B) { benchFigure(b, "fig20") }
+func BenchmarkFig21(b *testing.B) { benchFigure(b, "fig21") }
+func BenchmarkFig22(b *testing.B) { benchFigure(b, "fig22") }
+func BenchmarkFig23(b *testing.B) { benchFigure(b, "fig23") }
+func BenchmarkFig24(b *testing.B) { benchFigure(b, "fig24") }
+func BenchmarkFig25(b *testing.B) { benchFigure(b, "fig25") }
+func BenchmarkFig26(b *testing.B) { benchFigure(b, "fig26") }
+
+// Micro-benchmarks of the hot paths.
+
+func benchMatrix(n int) *latency.Matrix {
+	return latency.GenerateKingLike(latency.DefaultKingLike(n), 1)
+}
+
+// BenchmarkVivaldiTick measures one full simulation tick at the paper's
+// population size (1740 nodes, one sample each).
+func BenchmarkVivaldiTick(b *testing.B) {
+	m := benchMatrix(1740)
+	sys := vivaldi.NewSystem(m, vivaldi.Config{}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkVivaldiUpdate measures the bare update rule.
+func BenchmarkVivaldiUpdate(b *testing.B) {
+	cfg := vivaldi.Config{}
+	node := vivaldi.NewNode(cfg, randSource(1))
+	remote := vivaldi.ProbeResponse{
+		Coord: Euclidean(2).Random(randSource(2), 100),
+		Error: 0.4,
+		RTT:   80,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		node.Update(remote)
+	}
+}
+
+// BenchmarkNPSRound measures one full NPS positioning round at 400 nodes.
+func BenchmarkNPSRound(b *testing.B) {
+	m := benchMatrix(400)
+	sys := nps.NewSystem(m, nps.Config{SolveIterations: 400}, 1)
+	sys.Run(1) // everyone positioned once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkSimplexDownhill8D measures one NPS-style positioning solve.
+func BenchmarkSimplexDownhill8D(b *testing.B) {
+	space := Euclidean(8)
+	rng := randSource(3)
+	anchors := make([]Coord, 20)
+	rtts := make([]float64, 20)
+	host := space.Random(rng, 100)
+	for i := range anchors {
+		anchors[i] = space.Random(rng, 100)
+		rtts[i] = space.Dist(host, anchors[i]) * (1 + 0.1*rng.NormFloat64())
+	}
+	obj := gnp.Objective(space, anchors, rtts)
+	x0 := make([]float64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optimize.Minimize(obj, x0, optimize.Options{MaxIter: 800, InitStep: 25})
+	}
+}
+
+// BenchmarkGenerateInternet measures the synthetic topology generator at
+// the paper's scale.
+func BenchmarkGenerateInternet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		latency.GenerateKingLike(latency.DefaultKingLike(1740), int64(i))
+	}
+}
+
+// BenchmarkNodeErrors measures a full accuracy evaluation pass (1740
+// nodes, 64 sampled peers each).
+func BenchmarkNodeErrors(b *testing.B) {
+	m := benchMatrix(1740)
+	sys := vivaldi.NewSystem(m, vivaldi.Config{}, 1)
+	sys.Run(50)
+	peers := metrics.PeerSets(m.Size(), 64, 1)
+	coords := sys.Coords()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.NodeErrors(m, sys.Space(), coords, peers, nil)
+	}
+}
+
+// Ablation benches (DESIGN.md §5): each runs a small attacked system under
+// one design variation and reports the final honest error as a metric, so
+// `go test -bench=Ablation` quantifies the design choice's security value.
+
+func ablationVivaldi(b *testing.B, cfg vivaldi.Config, frac float64) {
+	b.Helper()
+	m := benchMatrix(150)
+	peers := metrics.PeerSets(m.Size(), 32, 1)
+	b.ReportAllocs()
+	var finalErr float64
+	for i := 0; i < b.N; i++ {
+		sys := vivaldi.NewSystem(m, cfg, int64(i))
+		sys.Run(600)
+		mal := core.SelectMalicious(m.Size(), frac, nil, int64(i))
+		malSet := core.MemberSet(mal)
+		for _, id := range mal {
+			sys.SetTap(id, core.NewVivaldiDisorder(id, int64(i)))
+		}
+		sys.Run(600)
+		honest := func(n int) bool { return !malSet[n] }
+		finalErr = metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest))
+	}
+	b.ReportMetric(finalErr, "final-rel-err")
+}
+
+// BenchmarkAblationAdaptiveDelta: the paper's configuration (δ = Cc·w),
+// which the disorder attack exploits through the reported-error weight.
+func BenchmarkAblationAdaptiveDelta(b *testing.B) {
+	ablationVivaldi(b, vivaldi.Config{}, 0.3)
+}
+
+// BenchmarkAblationConstantDelta: fixed δ, no error weighting.
+func BenchmarkAblationConstantDelta(b *testing.B) {
+	ablationVivaldi(b, vivaldi.Config{ConstantDelta: 0.05}, 0.3)
+}
+
+// BenchmarkAblationNeighbors16/64: the spring-count resilience lever
+// behind the system-size figures.
+func BenchmarkAblationNeighbors16(b *testing.B) {
+	ablationVivaldi(b, vivaldi.Config{Neighbors: 16, CloseNeighbors: 8}, 0.3)
+}
+
+func BenchmarkAblationNeighbors64(b *testing.B) {
+	ablationVivaldi(b, vivaldi.Config{Neighbors: 64, CloseNeighbors: 32}, 0.3)
+}
+
+// BenchmarkAblationDefenseOff/On: the §6 mitigations under disorder.
+func BenchmarkAblationDefenseOff(b *testing.B) {
+	ablationVivaldi(b, vivaldi.Config{}, 0.3)
+}
+
+func BenchmarkAblationDefenseOn(b *testing.B) {
+	ablationVivaldi(b, vivaldi.Config{SampleGuard: defense.Guard(defense.Config{})}, 0.3)
+}
+
+func ablationNPS(b *testing.B, cfg nps.Config) {
+	b.Helper()
+	m := benchMatrix(150)
+	peers := metrics.PeerSets(m.Size(), 32, 1)
+	cfg.SolveIterations = 300
+	b.ReportAllocs()
+	var finalErr float64
+	var filtered nps.FilterStats
+	for i := 0; i < b.N; i++ {
+		sys := nps.NewSystem(m, cfg, int64(i))
+		sys.Run(3)
+		sys.ResetStats()
+		mal := core.SelectMalicious(m.Size(), 0.3, sys.IsLandmark, int64(i))
+		malSet := core.MemberSet(mal)
+		for _, id := range mal {
+			sys.SetTap(id, core.NewNPSAntiDetectionNaive(id, 0.5, int64(i)))
+		}
+		sys.Run(3)
+		honest := func(n int) bool { return !malSet[n] && !sys.IsLandmark(n) }
+		finalErr = metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest))
+		filtered = sys.Stats()
+	}
+	b.ReportMetric(finalErr, "final-rel-err")
+	b.ReportMetric(filtered.Ratio(), "filter-precision")
+}
+
+// BenchmarkAblationFilterWorst: the paper's NPS filter (at most one
+// reference discarded per positioning).
+func BenchmarkAblationFilterWorst(b *testing.B) {
+	ablationNPS(b, nps.Config{Security: true, ProbeThresholdMS: 5000})
+}
+
+// BenchmarkAblationFilterAll: discard every reference meeting the
+// criterion — closing the "one reprieve per round" loophole.
+func BenchmarkAblationFilterAll(b *testing.B) {
+	ablationNPS(b, nps.Config{Security: true, ProbeThresholdMS: 5000, FilterAll: true})
+}
+
+// BenchmarkAblationThreshold1s/5s: how much the probe threshold bounds the
+// naive anti-detection attack.
+func BenchmarkAblationThreshold1s(b *testing.B) {
+	ablationNPS(b, nps.Config{Security: true, ProbeThresholdMS: 1000})
+}
+
+func BenchmarkAblationThreshold5s(b *testing.B) {
+	ablationNPS(b, nps.Config{Security: true, ProbeThresholdMS: 5000})
+}
+
+// BenchmarkAblationRelativeObjective: GNP's relative-error objective for
+// NPS host positioning. It intrinsically discounts far-away lies, blunting
+// delay-based attacks — at the cost of not being what the attacked
+// reference implementation does (see nps.Config.RelativeObjective).
+func BenchmarkAblationRelativeObjective(b *testing.B) {
+	ablationNPS(b, nps.Config{Security: true, ProbeThresholdMS: 5000, RelativeObjective: true})
+}
+
+// BenchmarkAblationAbsoluteObjective: the default, for side-by-side runs.
+func BenchmarkAblationAbsoluteObjective(b *testing.B) {
+	ablationNPS(b, nps.Config{Security: true, ProbeThresholdMS: 5000})
+}

@@ -1,0 +1,93 @@
+// Command vna-node runs a live Vivaldi coordinate daemon over UDP.
+//
+// Start a first node, then point further nodes at it:
+//
+//	vna-node -listen 127.0.0.1:7000
+//	vna-node -listen 127.0.0.1:7001 -peers 127.0.0.1:7000
+//	vna-node -listen 127.0.0.1:7002 -peers 127.0.0.1:7000,127.0.0.1:7001
+//
+// Each daemon prints its coordinate estimate once per second. The -delay
+// flag makes the node answer probes late (the paper's delay attack) and
+// -lie makes it report a forged far-away coordinate with a tiny error
+// estimate (the disorder lie), so the attacks can be observed on a real
+// socket path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "UDP address to bind")
+		peers    = flag.String("peers", "", "comma-separated peer addresses")
+		interval = flag.Duration("interval", 250*time.Millisecond, "probe interval")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
+		delay    = flag.Duration("delay", 0, "maliciously delay every probe response")
+		lie      = flag.Bool("lie", false, "maliciously report a forged far-away coordinate")
+	)
+	flag.Parse()
+
+	cfg := daemon.Config{Listen: *listen, ProbeInterval: *interval}
+	if *delay > 0 {
+		d := *delay
+		cfg.Latency = func(string) time.Duration { return d }
+	}
+	if *lie {
+		cfg.Forge = func(honest wire.ProbeResponse, peer string) wire.ProbeResponse {
+			for i := range honest.Vec {
+				honest.Vec[i] = 50000
+			}
+			honest.Error = 0.01
+			return honest
+		}
+	}
+	node, err := daemon.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vna-node:", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	fmt.Printf("listening on %s\n", node.Addr())
+
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if err := node.AddPeer(p); err != nil {
+			fmt.Fprintln(os.Stderr, "vna-node:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("probing peer %s\n", p)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *duration > 0 {
+		timeout = time.After(*duration)
+	}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Printf("coord=%v err=%.3f samples=%d\n",
+				node.Coord(), node.ErrorEstimate(), node.Updates())
+		case <-stop:
+			return
+		case <-timeout:
+			return
+		}
+	}
+}

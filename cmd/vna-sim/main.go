@@ -1,0 +1,120 @@
+// Command vna-sim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	vna-sim -list
+//	vna-sim -exp fig01 [-preset quick|standard|full] [-format table|csv|plot]
+//	vna-sim -exp all -preset quick -out results/
+//
+// Each experiment prints labelled data series (the rows/curves of the
+// corresponding paper figure) plus notes with reference values such as the
+// clean-system error and the random-coordinate baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		expFlag    = flag.String("exp", "", "experiment id (fig01..fig26), comma-separated list, or 'all'")
+		presetFlag = flag.String("preset", "quick", "scale preset: quick, standard or full")
+		formatFlag = flag.String("format", "table", "output format: table, csv or plot")
+		outFlag    = flag.String("out", "", "output directory (default: stdout)")
+		listFlag   = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, reg := range experiment.List() {
+			fmt.Printf("%-6s %-10s %s\n", reg.ID, reg.Figure, reg.Title)
+		}
+		return
+	}
+	if *expFlag == "" {
+		fmt.Fprintln(os.Stderr, "vna-sim: -exp is required (or use -list); e.g. -exp fig01 or -exp all")
+		os.Exit(2)
+	}
+	preset, err := experiment.PresetByName(*presetFlag)
+	if err != nil {
+		fatal(err)
+	}
+	write, ext, err := writer(*formatFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, reg := range experiment.List() {
+			ids = append(ids, reg.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	for _, id := range ids {
+		reg, ok := experiment.Get(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s) at preset %s...\n", reg.ID, reg.Figure, preset.Name)
+		result := reg.Run(preset)
+		fmt.Fprintf(os.Stderr, "done %s in %v\n", reg.ID, time.Since(start).Round(time.Millisecond))
+		result.Title = reg.Title
+
+		out := io.Writer(os.Stdout)
+		if *outFlag != "" {
+			if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*outFlag, id+ext))
+			if err != nil {
+				fatal(err)
+			}
+			if err := write(f, result); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		if err := write(out, result); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func writer(format string) (func(io.Writer, *experiment.Result) error, string, error) {
+	switch format {
+	case "table":
+		return report.WriteTable, ".txt", nil
+	case "csv":
+		return report.WriteCSV, ".csv", nil
+	case "plot":
+		return func(w io.Writer, r *experiment.Result) error {
+			return report.WritePlot(w, r, 72, 20)
+		}, ".txt", nil
+	}
+	return nil, "", fmt.Errorf("unknown format %q (want table, csv or plot)", format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vna-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command vna-topo generates and inspects Internet latency matrices.
+//
+// Usage:
+//
+//	vna-topo -nodes 1740 -seed 1 -out king-like.txt    # generate + save
+//	vna-topo -in king-like.txt -stats                  # distribution stats
+//	vna-topo -nodes 400 -stats -tiv                    # stats + TIV fraction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/latency"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 1740, "number of hosts to generate")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		in    = flag.String("in", "", "load a matrix instead of generating one")
+		out   = flag.String("out", "", "save the matrix to this file")
+		stats = flag.Bool("stats", false, "print distribution statistics")
+		tiv   = flag.Bool("tiv", false, "estimate the triangle-inequality violation fraction")
+	)
+	flag.Parse()
+
+	var m *latency.Matrix
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = latency.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d-node matrix from %s\n", m.Size(), *in)
+	} else {
+		m = latency.GenerateKingLike(latency.DefaultKingLike(*nodes), *seed)
+		fmt.Fprintf(os.Stderr, "generated %d-node king-like matrix (seed %d)\n", m.Size(), *seed)
+	}
+
+	if *stats {
+		fmt.Println(m.Stats())
+	}
+	if *tiv {
+		fmt.Printf("TIV fraction (sampled): %.4f\n", m.TIVFraction(500000))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved to %s\n", *out)
+	}
+	if !*stats && !*tiv && *out == "" {
+		fmt.Println(m.Stats())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vna-topo:", err)
+	os.Exit(1)
+}

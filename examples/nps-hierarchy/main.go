@@ -1,0 +1,76 @@
+// NPS hierarchy demo: build a 4-layer NPS deployment, watch a colluding
+// conspiracy activate once enough of its members serve as reference
+// points, and trace how the victims' corrupted positions propagate from
+// layer 2 into every layer-3 node beneath them (the paper's system-control
+// effect, figures 23-25).
+package main
+
+import (
+	"fmt"
+
+	vna "repro"
+)
+
+const (
+	nodes = 260
+	seed  = 11
+	frac  = 0.20
+)
+
+func main() {
+	internet := vna.GenerateInternet(nodes, seed)
+	sys := vna.NewNPS(internet, vna.NPSConfig{
+		Layers:           4,
+		Security:         true,
+		ProbeThresholdMS: 5000,
+	}, seed)
+
+	fmt.Println("4-layer NPS deployment:")
+	for layer := 0; layer < 4; layer++ {
+		fmt.Printf("  layer %d: %3d nodes%s\n", layer, len(sys.NodesInLayer(layer)),
+			map[bool]string{true: "  (reference points)", false: ""}[layer < 3])
+	}
+
+	sys.Run(5) // clean convergence
+	peers := vna.EvalPeers(nodes, 0, seed)
+	layerErr := func(layer int, exclude map[int]bool) float64 {
+		in := func(i int) bool { return sys.Layer(i) == layer && !exclude[i] }
+		return vna.AverageError(internet, sys.Space(), sys.Coords(), peers, in)
+	}
+	fmt.Printf("\nclean errors: L2=%.3f L3=%.3f\n", layerErr(2, nil), layerErr(3, nil))
+
+	// A conspiracy: members behave honestly until >=5 of them are
+	// reference points in the same layer, then they isolate a common
+	// victim set drawn from layer 2 — the reference points of layer 3.
+	attackers := vna.SelectMalicious(nodes, frac, sys.IsLandmark, seed)
+	malicious := map[int]bool{}
+	for _, id := range attackers {
+		malicious[id] = true
+	}
+	victims := map[int]bool{}
+	for _, id := range sys.NodesInLayer(2) {
+		if !malicious[id] && len(victims) < 12 {
+			victims[id] = true
+		}
+	}
+	conspiracy := vna.NewNPSConspiracyAttack(attackers, victims, sys.Space(), seed)
+	for _, id := range attackers {
+		sys.SetTap(id, vna.NewNPSColludingTap(id, conspiracy, sys.Space(), seed))
+	}
+	sys.ResetStats()
+	fmt.Printf("\ninjected %d colluders targeting %d layer-2 victims\n", len(attackers), len(victims))
+
+	sys.Run(8)
+	victimErr := vna.AverageError(internet, sys.Space(), sys.Coords(), peers,
+		func(i int) bool { return victims[i] })
+	honestL3 := func(i int) bool { return sys.Layer(i) == 3 && !malicious[i] }
+	fmt.Printf("\nafter the attack:\n")
+	fmt.Printf("  layer-2 victims:        %.3f (exiled)\n", victimErr)
+	fmt.Printf("  layer-3 (all honest):   %.3f (corrupted through their references)\n",
+		vna.AverageError(internet, sys.Space(), sys.Coords(), peers, honestL3))
+	st := sys.Stats()
+	fmt.Printf("  security filter: %d eliminations, %d of them colluders (%.0f%%)\n",
+		st.Total, st.Malicious, 100*st.Ratio())
+	fmt.Println("\ncolluders stay under the filter's median bar while the victims'")
+	fmt.Println("mis-positions cascade into every node that uses them as references.")
+}

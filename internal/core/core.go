@@ -1,0 +1,82 @@
+// Package core implements the paper's primary contribution: the taxonomy
+// of insider attacks against Internet coordinate systems (§4) and concrete
+// attack strategies against Vivaldi and NPS (§5).
+//
+// Attacks are expressed as probe taps — interceptors installed on
+// malicious nodes that forge the coordinate/error state they report and
+// delay (never shorten) the measurement probes of their victims. Vivaldi
+// taps implement vivaldi.Tap; NPS taps implement nps.Tap. Colluding
+// attacks share a Conspiracy value that gives every member the same
+// designated targets, destinations and pretend-cluster, which is what
+// makes collusion so much more potent than independent lying (§5.3.3).
+//
+// The attack classes from §4 map to the concrete strategies as follows:
+//
+//	Disorder       → VivaldiDisorder, NPSDisorder,
+//	                 NPSAntiDetectionNaive, NPSAntiDetectionSophisticated
+//	Repulsion      → VivaldiRepulsion (optionally on a victim subset)
+//	Isolation      → VivaldiColludeRepel (strategy 1),
+//	                 VivaldiColludeLure (strategy 2), NPSColludingIsolation
+//	System control → error propagation through NPS reference layers
+//	                 (an emergent effect measured by fig. 24/25, not a tap)
+package core
+
+import (
+	"repro/internal/randx"
+)
+
+// SelectMalicious deterministically picks ⌊fraction·n⌋ node ids from
+// [0,n) to act as attackers, skipping any node for which exclude returns
+// true (e.g. NPS landmarks, which the paper assumes secure). The paper
+// selects attackers uniformly at random per repetition (§5.2).
+func SelectMalicious(n int, fraction float64, exclude func(int) bool, seed int64) []int {
+	if fraction <= 0 {
+		return nil
+	}
+	eligible := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if exclude == nil || !exclude(i) {
+			eligible = append(eligible, i)
+		}
+	}
+	want := int(fraction * float64(n))
+	if want > len(eligible) {
+		want = len(eligible)
+	}
+	if want == 0 {
+		return nil
+	}
+	rng := randx.NewDerived(seed, "malicious", 0)
+	idx := randx.Sample(rng, len(eligible), want)
+	out := make([]int, want)
+	for k, e := range idx {
+		out[k] = eligible[e]
+	}
+	return out
+}
+
+// MemberSet turns a slice of node ids into a membership predicate plus a
+// set for O(1) lookups.
+func MemberSet(ids []int) map[int]bool {
+	set := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// SplitEvenly partitions ids into k contiguous groups of near-equal size,
+// used by the combined attacks where "the percentage of malicious nodes of
+// each type is the same" (§5.3.4).
+func SplitEvenly(ids []int, k int) [][]int {
+	if k <= 0 {
+		return nil
+	}
+	out := make([][]int, k)
+	for g := range out {
+		lo := g * len(ids) / k
+		hi := (g + 1) * len(ids) / k
+		out[g] = ids[lo:hi:hi]
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSelectMaliciousCount(t *testing.T) {
+	ids := SelectMalicious(1000, 0.3, nil, 1)
+	if len(ids) != 300 {
+		t.Fatalf("selected %d, want 300", len(ids))
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 0 || id >= 1000 || seen[id] {
+			t.Fatalf("bad or duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSelectMaliciousDeterministic(t *testing.T) {
+	a := SelectMalicious(100, 0.5, nil, 7)
+	b := SelectMalicious(100, 0.5, nil, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("selection not deterministic")
+		}
+	}
+	c := SelectMalicious(100, 0.5, nil, 8)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical selection")
+	}
+}
+
+func TestSelectMaliciousExcludes(t *testing.T) {
+	exclude := func(i int) bool { return i < 50 }
+	ids := SelectMalicious(100, 0.4, exclude, 3)
+	if len(ids) != 40 {
+		t.Fatalf("selected %d, want 40", len(ids))
+	}
+	for _, id := range ids {
+		if id < 50 {
+			t.Fatalf("excluded node %d selected", id)
+		}
+	}
+}
+
+func TestSelectMaliciousClampsToEligible(t *testing.T) {
+	exclude := func(i int) bool { return i >= 10 }
+	ids := SelectMalicious(100, 0.5, exclude, 3)
+	if len(ids) != 10 {
+		t.Fatalf("selected %d, want all 10 eligible", len(ids))
+	}
+}
+
+func TestSelectMaliciousZeroFraction(t *testing.T) {
+	if ids := SelectMalicious(100, 0, nil, 1); ids != nil {
+		t.Fatalf("zero fraction selected %v", ids)
+	}
+}
+
+func TestMemberSet(t *testing.T) {
+	set := MemberSet([]int{3, 5})
+	if !set[3] || !set[5] || set[4] {
+		t.Fatal("member set wrong")
+	}
+}
+
+func TestSplitEvenly(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5, 6}
+	groups := SplitEvenly(ids, 3)
+	if len(groups) != 3 {
+		t.Fatalf("groups %d", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		if len(g) < 2 || len(g) > 3 {
+			t.Fatalf("uneven group sizes: %v", groups)
+		}
+	}
+	if total != len(ids) {
+		t.Fatalf("split loses elements: %v", groups)
+	}
+	if SplitEvenly(ids, 0) != nil {
+		t.Fatal("k=0 should give nil")
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/coordspace"
+	"repro/internal/nps"
+	"repro/internal/randx"
+)
+
+// NPSDisorder is the simple disorder attack of §5.4.1: a malicious
+// reference point transmits its *correct* coordinates but delays the
+// victim's measurement probe by a random value in [100, 1000] ms, without
+// any care for lie consistency. Easy to detect — which is exactly what
+// fig. 14 uses to show the NPS filter working up to ~30% attackers.
+type NPSDisorder struct {
+	MinDelay float64 // ms (default 100)
+	MaxDelay float64 // ms (default 1000)
+	rng      *rand.Rand
+}
+
+// NewNPSDisorder returns a simple disorder tap for owner.
+func NewNPSDisorder(owner int, seed int64) *NPSDisorder {
+	return &NPSDisorder{
+		MinDelay: 100,
+		MaxDelay: 1000,
+		rng:      randx.NewDerived(seed, "nps-disorder", owner),
+	}
+}
+
+// Respond implements nps.Tap.
+func (a *NPSDisorder) Respond(victim int, honest nps.ProbeReply, view nps.View) nps.ProbeReply {
+	honest.RTT += randx.Uniform(a.rng, a.MinDelay, a.MaxDelay)
+	return honest
+}
+
+// NPSAntiDetection implements the anti-detection disorder attacks of
+// §5.4.2 (naive) and §5.4.3 (sophisticated). The attacker lies
+// *consistently*: it inflates the measured RTT to d″ and reports a
+// coordinate placed so that the victim's fitting error for this reference
+// stays small, while the embedded constraint still displaces the victim by
+// Δ = Alpha·d.
+//
+// Geometry: let Pv be the victim's (known or estimated) position and u a
+// push direction. The attacker claims position
+//
+//	P″ = Pv − (d″−Δ)·u      with   d″ = Gain·Δ
+//
+// and delays the probe so the victim measures d″. At the victim's current
+// position the fitting error is Δ/d″ = 1/Gain, and it shrinks further as
+// the victim yields to the push (the constraint is exactly satisfiable at
+// Pv + Δ·u).
+//
+// On the evasion bound: the paper's construction targets ER < 0.01 to
+// negate condition (1) of the NPS filter, which needs Gain ≳ 100 — but on
+// a realistic embedding every *honest* reference already has fitting
+// error far above 0.01, so condition (1) is moot and the operative bound
+// is condition (2), maxER > C·median(ER). Honest residuals of ~0.1 put
+// that bar near 0.4; the default Gain of 6 keeps a well-informed attacker
+// at ER ≈ 0.17 — under the bar and at the level of honest residuals, so
+// only badly misinformed lies (low KnowP) risk elimination — while keeping
+// victims up to d″ = 2·Gain·d reachable under the probe threshold, i.e.
+// most of the population rather than only sub-25 ms neighbours.
+// EXPERIMENTS.md discusses this calibration against figures 18–22.
+//
+// The sophisticated variant (§5.4.3) additionally refuses to attack
+// victims whose d″ plus the true distance would trip the probe threshold,
+// trading reach for complete invisibility; the naive variant ignores the
+// threshold and wastes its probes on far victims (they are discarded).
+type NPSAntiDetection struct {
+	Owner int
+
+	// Alpha scales the displacement per positioning: Δ = Alpha·d, with d
+	// the attacker's true distance to the victim (paper: α = 2).
+	Alpha float64
+
+	// Gain is d″/Δ: larger values are stealthier (fitting error 1/Gain at
+	// an unmoved victim) but shrink the set of victims reachable under
+	// the probe threshold. Default 6; use >100 to satisfy the literal
+	// ER < 0.01 construction of the paper.
+	Gain float64
+
+	// KnowP is the probability that the attacker knows a victim's true
+	// coordinates (fig. 19/20/22 sweep this). The decision is made once
+	// per victim and cached, as is the push direction, so the attack
+	// remains consistent across rounds.
+	KnowP float64
+
+	// Sophisticated, when true, restricts the attack to victims for which
+	// the needed d″ plus the true distance stays below ProbeThresholdMS,
+	// dodging the threshold check entirely.
+	Sophisticated    bool
+	ProbeThresholdMS float64
+
+	rng   *rand.Rand
+	knows map[int]bool
+	dirs  map[int]coordspace.Coord // cached push direction per victim
+	guess map[int]coordspace.Coord // cached bearing guess for unknown victims
+}
+
+// NewNPSAntiDetectionNaive returns a §5.4.2 tap: consistent lying, filter
+// evasion, but no regard for the probe threshold.
+func NewNPSAntiDetectionNaive(owner int, knowP float64, seed int64) *NPSAntiDetection {
+	return &NPSAntiDetection{
+		Owner: owner,
+		Alpha: 2,
+		Gain:  6,
+		KnowP: knowP,
+		rng:   randx.NewDerived(seed, "nps-antidetect", owner),
+		knows: make(map[int]bool),
+		dirs:  make(map[int]coordspace.Coord),
+		guess: make(map[int]coordspace.Coord),
+	}
+}
+
+// NewNPSAntiDetectionSophisticated returns a §5.4.3 tap that also dodges
+// the probe threshold by only attacking nearby victims.
+func NewNPSAntiDetectionSophisticated(owner int, knowP, probeThresholdMS float64, seed int64) *NPSAntiDetection {
+	a := NewNPSAntiDetectionNaive(owner, knowP, seed)
+	a.Sophisticated = true
+	a.ProbeThresholdMS = probeThresholdMS
+	return a
+}
+
+// Respond implements nps.Tap.
+func (a *NPSAntiDetection) Respond(victim int, honest nps.ProbeReply, view nps.View) nps.ProbeReply {
+	space := view.Space()
+	d := view.TrueRTT(a.Owner, victim)
+	if d <= 0 {
+		return honest
+	}
+	delta := a.Alpha * d
+	dpp := a.Gain * delta // d″
+
+	if a.Sophisticated && a.ProbeThresholdMS > 0 && dpp+d > a.ProbeThresholdMS {
+		// Too far to push invisibly: stay honest with this victim.
+		return honest
+	}
+
+	knows, ok := a.knows[victim]
+	if !ok {
+		knows = randx.Bernoulli(a.rng, a.KnowP)
+		a.knows[victim] = knows
+	}
+
+	// Estimate the victim's position.
+	var pv coordspace.Coord
+	if knows {
+		pv = view.Coord(victim)
+	} else {
+		// One-way timestamp estimate of the distance (≈ d/2) along a
+		// guessed bearing from the attacker's own position.
+		bearing, ok := a.guess[victim]
+		if !ok {
+			bearing, _ = space.Unit(space.Random(a.rng, 1), space.Zero(), a.rng)
+			a.guess[victim] = bearing
+		}
+		pv = space.Displace(view.Coord(a.Owner), bearing, d/2)
+	}
+
+	// Push direction: away from the attacker through the victim when the
+	// coordinates are known (the "direction defined by the nodes
+	// themselves", §5.4.2), random otherwise; cached for consistency.
+	dir, ok := a.dirs[victim]
+	if !ok {
+		if knows {
+			dir, _ = space.Unit(pv, view.Coord(a.Owner), a.rng)
+		} else {
+			dir, _ = space.Unit(space.Random(a.rng, 1), space.Zero(), a.rng)
+		}
+		a.dirs[victim] = dir
+	}
+
+	claimed := space.Displace(pv, dir, -(dpp - delta)) // P″ = Pv − (d″−Δ)·u
+	rtt := honest.RTT
+	if dpp > rtt {
+		rtt = dpp
+	}
+	return nps.ProbeReply{Coord: claimed, RTT: rtt}
+}
+
+// NPSConspiracy is the shared state of the §5.4.4 colluding isolation
+// attack on NPS. Members behave perfectly honestly until at least
+// MinActive of them serve as reference points in the same layer; then,
+// towards the agreed victim set only, they pretend to be clustered in a
+// remote part of the coordinate space and run a consistent anti-detection
+// push that exiles the victims to the opposite side of the space.
+type NPSConspiracy struct {
+	MinActive int          // activation quorum (paper: 5)
+	Victims   map[int]bool // the common victim set
+	Members   []int
+
+	ClusterCenter coordspace.Coord
+	ClusterRadius float64
+	seed          int64
+}
+
+// NewNPSConspiracy creates shared colluding state. clusterNorm places the
+// pretend cluster at exactly that distance from the origin; it must stay
+// well below the probe threshold distance or every forged probe would be
+// discarded (the paper's "remote part of the coordinate space" — remote,
+// but plausible). With the default 5 s threshold and a 0.3 push fraction,
+// 2500 ms leaves the claimed RTTs safely under the bar.
+func NewNPSConspiracy(members []int, victims map[int]bool, space coordspace.Space, clusterNorm float64, seed int64) *NPSConspiracy {
+	rng := randx.NewDerived(seed, "nps-conspiracy", 0)
+	dir, _ := space.Unit(space.Random(rng, 1), space.Zero(), rng)
+	center := space.Displace(space.Zero(), dir, clusterNorm)
+	return &NPSConspiracy{
+		MinActive:     5,
+		Victims:       victims,
+		Members:       append([]int(nil), members...),
+		ClusterCenter: center,
+		ClusterRadius: clusterNorm / 50,
+		seed:          seed,
+	}
+}
+
+// Active reports whether the activation quorum is met: at least MinActive
+// members are reference points in the same layer.
+func (c *NPSConspiracy) Active(view nps.View) bool {
+	perLayer := make(map[int]int)
+	for _, m := range c.Members {
+		if view.IsReference(m) && view.Positioned(m) {
+			perLayer[view.Layer(m)]++
+			if perLayer[view.Layer(m)] >= c.MinActive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Slot returns the member's fixed pretend position inside the cluster.
+func (c *NPSConspiracy) Slot(member int, space coordspace.Space) coordspace.Coord {
+	rng := randx.NewDerived(c.seed, "nps-conspiracy-slot", member)
+	offset := space.Random(rng, c.ClusterRadius)
+	out := c.ClusterCenter.Clone()
+	for i := range out.V {
+		out.V[i] += offset.V[i]
+	}
+	return out
+}
+
+// NPSColludingIsolation is a member's tap for the §5.4.4 attack.
+type NPSColludingIsolation struct {
+	Owner int
+	C     *NPSConspiracy
+
+	// PushFraction sets the per-round displacement as a fraction of the
+	// victim's distance to the pretend cluster. The resulting fitting
+	// error, PushFraction/(1+PushFraction), must stay below the filter's
+	// effective bar C·median(ER) — with honest residuals around 0.1 the
+	// default 0.3 sits under it while exiling victims by
+	// hundreds of milliseconds per round.
+	PushFraction float64
+
+	slot coordspace.Coord
+	rng  *rand.Rand
+}
+
+// NewNPSColludingIsolation returns a colluding tap for owner.
+func NewNPSColludingIsolation(owner int, c *NPSConspiracy, space coordspace.Space, seed int64) *NPSColludingIsolation {
+	return &NPSColludingIsolation{
+		Owner:        owner,
+		C:            c,
+		PushFraction: 0.3,
+		slot:         c.Slot(owner, space),
+		rng:          randx.NewDerived(seed, "nps-collude", owner),
+	}
+}
+
+// Respond implements nps.Tap.
+func (a *NPSColludingIsolation) Respond(victim int, honest nps.ProbeReply, view nps.View) nps.ProbeReply {
+	if !a.C.Victims[victim] || !a.C.Active(view) {
+		return honest // honest to non-victims and before the quorum
+	}
+	space := view.Space()
+	pv := view.Coord(victim) // colluders know their common victims
+	distToSlot := space.Dist(a.slot, pv)
+	if distToSlot < 1e-9 {
+		return honest
+	}
+	delta := a.PushFraction * distToSlot
+	dpp := distToSlot + delta
+	rtt := honest.RTT
+	if dpp > rtt {
+		rtt = dpp
+	}
+	// Claim the pretend-cluster slot with an RTT beyond the true slot
+	// distance: the embedded constraint drags the victim directly away
+	// from the cluster, with a fitting error of PushFraction/(1+PF) that
+	// stays under the filter's median bar.
+	return nps.ProbeReply{Coord: a.slot, RTT: rtt}
+}

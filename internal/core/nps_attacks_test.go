@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gnp"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/nps"
+)
+
+func smallNPS(n int, seed int64, cfg nps.Config) (*latency.Matrix, *nps.System) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(n), seed)
+	if cfg.NumLandmarks == 0 {
+		cfg.NumLandmarks = 10
+	}
+	return m, nps.NewSystem(m, cfg, seed+1)
+}
+
+func TestNPSDisorderDelaysOnly(t *testing.T) {
+	_, s := smallNPS(80, 1, nps.Config{})
+	ref := s.NodesInLayer(1)[0]
+	s.SetTap(ref, NewNPSDisorder(ref, 42))
+	victim := s.NodesInLayer(2)[0]
+	for trial := 0; trial < 30; trial++ {
+		reply := s.Probe(victim, ref)
+		added := reply.RTT - s.TrueRTT(victim, ref)
+		if added < 100 || added > 1000 {
+			t.Fatalf("delay %v outside [100,1000]", added)
+		}
+		// Correct coordinates are reported: the lie is only in the delay.
+		if s.Space().Dist(reply.Coord, s.Coord(ref)) > 1e-9 {
+			t.Fatal("simple disorder forged the coordinate")
+		}
+	}
+}
+
+func TestAntiDetectionEvadesFitTrigger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("positioning run")
+	}
+	_, s := smallNPS(100, 2, nps.Config{})
+	s.Run(3) // converge
+	ref := s.NodesInLayer(1)[0]
+	victim := s.NodesInLayer(2)[0]
+	tap := NewNPSAntiDetectionNaive(ref, 1 /* full knowledge */, 5)
+	s.SetTap(ref, tap)
+	reply := s.Probe(victim, ref)
+
+	// The fitting error at the victim's *current* position must stay at
+	// 1/Gain — under the filter's effective (median) bar and under
+	// typical honest residuals — the whole point of the consistent lie.
+	fit := gnp.FitError(s.Space(), s.Coord(victim), reply.Coord, reply.RTT)
+	if fit > 1/tap.Gain*1.1 {
+		t.Fatalf("anti-detection lie has fitting error %v > 1/Gain=%v", fit, 1/tap.Gain)
+	}
+	// And the claimed RTT must be a massive inflation of the true one.
+	if reply.RTT < 10*s.TrueRTT(victim, ref) {
+		t.Fatalf("claimed RTT %v not inflated (true %v)", reply.RTT, s.TrueRTT(victim, ref))
+	}
+	// The strict ER<0.01 construction of the paper remains available.
+	tap.Gain = 105
+	strict := s.Probe(victim, ref)
+	sfit := gnp.FitError(s.Space(), s.Coord(victim), strict.Coord, strict.RTT)
+	if sfit >= 0.011 {
+		t.Fatalf("Gain=105 lie has fitting error %v, want < 0.01", sfit)
+	}
+}
+
+func TestAntiDetectionKnowledgeCaching(t *testing.T) {
+	_, s := smallNPS(80, 3, nps.Config{})
+	s.Run(1)
+	ref := s.NodesInLayer(1)[0]
+	victim := s.NodesInLayer(2)[0]
+	tap := NewNPSAntiDetectionNaive(ref, 0.5, 7)
+	s.SetTap(ref, tap)
+	s.Probe(victim, ref)
+	first := tap.knows[victim]
+	for i := 0; i < 10; i++ {
+		s.Probe(victim, ref)
+		if tap.knows[victim] != first {
+			t.Fatal("knowledge decision changed across probes")
+		}
+	}
+	d1 := tap.dirs[victim]
+	s.Probe(victim, ref)
+	d2 := tap.dirs[victim]
+	for i := range d1.V {
+		if d1.V[i] != d2.V[i] {
+			t.Fatal("push direction changed across probes")
+		}
+	}
+}
+
+func TestSophisticatedHonestToFarVictims(t *testing.T) {
+	// A tight 1 s threshold makes the nearby-victim restriction visible
+	// at test scale: the limit is d < threshold/(2·Gain+1) ≈ 77 ms.
+	const threshold = 1000.0
+	_, s := smallNPS(80, 4, nps.Config{})
+	s.Run(1)
+	ref := s.NodesInLayer(1)[0]
+	tap := NewNPSAntiDetectionSophisticated(ref, 1, threshold, 9)
+	s.SetTap(ref, tap)
+	attacked, honest := 0, 0
+	for _, victim := range s.NodesInLayer(2) {
+		d := s.TrueRTT(victim, ref)
+		reply := s.Probe(victim, ref)
+		if reply.RTT > s.TrueRTT(victim, ref)*3 {
+			attacked++
+			// Sophisticated: the inflated probe must stay under threshold.
+			if reply.RTT > threshold {
+				t.Fatalf("sophisticated attack exceeded probe threshold: %v", reply.RTT)
+			}
+			if tap.Gain*tap.Alpha*d+d > threshold {
+				t.Fatalf("attacked victim at distance %v is too far", d)
+			}
+		} else {
+			honest++
+		}
+	}
+	if attacked == 0 {
+		t.Fatal("sophisticated attacker never attacked anyone (no nearby victims?)")
+	}
+	if honest == 0 {
+		t.Fatal("sophisticated attacker attacked everyone (threshold ignored?)")
+	}
+}
+
+func TestNaiveAttackGetsCaughtByThreshold(t *testing.T) {
+	// The naive attacker ignores the threshold: against far victims its
+	// inflated probes (d″ = 2·Gain·d) land above a 1 s threshold and
+	// would simply be discarded.
+	_, s := smallNPS(80, 5, nps.Config{})
+	s.Run(1)
+	ref := s.NodesInLayer(1)[0]
+	tap := NewNPSAntiDetectionNaive(ref, 1, 9)
+	s.SetTap(ref, tap)
+	over := 0
+	for _, victim := range s.NodesInLayer(2) {
+		if s.TrueRTT(victim, ref) > 1000/(2*tap.Gain) {
+			if reply := s.Probe(victim, ref); reply.RTT > 1000 {
+				over++
+			}
+		}
+	}
+	if over == 0 {
+		t.Fatal("naive attacker never tripped the probe threshold")
+	}
+}
+
+func TestNPSConspiracyActivation(t *testing.T) {
+	_, s := smallNPS(120, 6, nps.Config{})
+	s.Run(1)
+	l1 := s.NodesInLayer(1)
+	l2 := s.NodesInLayer(2)
+
+	victims := MemberSet([]int{l2[0], l2[1]})
+	// Four layer-1 colluders: below the quorum of five.
+	four := l1[:4]
+	c4 := NewNPSConspiracy(four, victims, s.Space(), 2500, 3)
+	if c4.Active(s) {
+		t.Fatal("conspiracy active with only 4 reference members")
+	}
+	five := l1[:5]
+	c5 := NewNPSConspiracy(five, victims, s.Space(), 2500, 3)
+	if !c5.Active(s) {
+		t.Fatal("conspiracy inactive with 5 reference members")
+	}
+	// Members that are leaves (never reference points) don't count.
+	leaves := l2[:8]
+	cl := NewNPSConspiracy(leaves, victims, s.Space(), 2500, 3)
+	if cl.Active(s) {
+		t.Fatal("conspiracy active with only leaf members")
+	}
+}
+
+func TestNPSColludingHonestOutsideVictimSet(t *testing.T) {
+	_, s := smallNPS(120, 7, nps.Config{})
+	s.Run(2)
+	l1 := s.NodesInLayer(1)
+	l2 := s.NodesInLayer(2)
+	victims := MemberSet([]int{l2[0]})
+	c := NewNPSConspiracy(l1[:5], victims, s.Space(), 2500, 3)
+	tap := NewNPSColludingIsolation(l1[0], c, s.Space(), 5)
+	s.SetTap(l1[0], tap)
+
+	honest := s.Probe(l2[1], l1[0]) // not a victim
+	if honest.RTT != s.TrueRTT(l2[1], l1[0]) {
+		t.Fatal("non-victim was attacked")
+	}
+	forged := s.Probe(l2[0], l1[0]) // the victim
+	if forged.RTT <= s.TrueRTT(l2[0], l1[0]) {
+		t.Fatal("victim not attacked")
+	}
+	if s.Space().Dist(forged.Coord, c.ClusterCenter) > c.ClusterRadius*3 {
+		t.Fatal("colluder did not claim the cluster position")
+	}
+	// The lie must stay under the filter's effective bar at the victim's
+	// current position: PushFraction/(1+PushFraction) ≈ 0.23.
+	fit := gnp.FitError(s.Space(), s.Coord(l2[0]), forged.Coord, forged.RTT)
+	if fit >= 0.3 {
+		t.Fatalf("colluding lie fitting error %v >= 0.3", fit)
+	}
+}
+
+func TestNPSDisorderEndToEndWithSecurity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	// 20% simple disorder attackers against the security filter: the
+	// filter must catch a large share of them (fig. 14's "highly
+	// effective up to 30%" regime).
+	m, s := smallNPS(200, 8, nps.Config{Security: true})
+	s.Run(4)
+	s.ResetStats()
+	mal := SelectMalicious(m.Size(), 0.2, s.IsLandmark, 31)
+	for _, id := range mal {
+		s.SetTap(id, NewNPSDisorder(id, 31))
+	}
+	s.Run(5)
+	st := s.Stats()
+	if st.Total == 0 {
+		t.Fatal("security filter never fired against blatant delay liars")
+	}
+	if st.Ratio() < 0.5 {
+		t.Fatalf("filter precision %.2f against simple disorder, want >= 0.5", st.Ratio())
+	}
+	peers := metrics.PeerSets(m.Size(), 64, 1)
+	malSet := MemberSet(mal)
+	honest := func(i int) bool { return !malSet[i] && !s.IsLandmark(i) }
+	avg := metrics.Mean(metrics.NodeErrors(m, s.Space(), s.Coords(), peers, honest))
+	if avg > 3 {
+		t.Fatalf("security on, 20%% simple disorder: avg error %v, filter ineffective", avg)
+	}
+}
+
+func TestAntiDetectionDefeatsFilterAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	// With anti-detection lies the filter should mostly catch *honest*
+	// nodes (false positives), driving the malicious-filtered ratio down
+	// versus the simple disorder attack (fig. 20's story).
+	m, s := smallNPS(200, 9, nps.Config{Security: true, ProbeThresholdMS: 5000})
+	s.Run(4)
+	s.ResetStats()
+	mal := SelectMalicious(m.Size(), 0.3, s.IsLandmark, 13)
+	for _, id := range mal {
+		s.SetTap(id, NewNPSAntiDetectionNaive(id, 0.5, 13))
+	}
+	s.Run(5)
+	st := s.Stats()
+	if st.Total > 0 && st.Ratio() > 0.9 {
+		t.Fatalf("anti-detection attackers filtered at ratio %.2f — evasion failing", st.Ratio())
+	}
+}

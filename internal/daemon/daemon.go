@@ -1,0 +1,325 @@
+// Package daemon runs Vivaldi over real UDP sockets: each Node owns a
+// socket, probes its peers on a timer, and feeds the measured RTTs into
+// the same vivaldi.Node state machine the simulator uses. This is the
+// "coordinate system as an always-on service" deployment the paper's
+// introduction motivates, and the attack surface it analyzes: a malicious
+// daemon can forge the coordinate and error it reports (Forge hook) and
+// delay its responses (Latency hook), but it can never shorten a measured
+// RTT — probers only accept responses that echo the exact timestamp and
+// sequence number of an in-flight probe.
+//
+// The Latency hook doubles as a topology emulator on loopback: tests give
+// every node a synthetic RTT function and the daemons converge to
+// coordinates predicting it.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/coordspace"
+	"repro/internal/randx"
+	"repro/internal/vivaldi"
+	"repro/internal/wire"
+)
+
+// Config configures a daemon node. Zero values take defaults.
+type Config struct {
+	// Listen is the UDP address to bind (default "127.0.0.1:0").
+	Listen string
+
+	// Vivaldi configures the embedded algorithm; its zero value uses the
+	// paper's parameters in a 2-D + height space, the model the Vivaldi
+	// authors found best for live deployments.
+	Vivaldi vivaldi.Config
+
+	// ProbeInterval is the time between outgoing probes (default 100 ms).
+	ProbeInterval time.Duration
+
+	// ProbeTimeout discards in-flight probes that were never answered
+	// (default 3 s).
+	ProbeTimeout time.Duration
+
+	// Latency, when set, delays this node's *responses* by the returned
+	// duration (full round-trip worth). It emulates network distance on
+	// loopback and is also how a malicious node delays probes.
+	Latency func(peer netip) time.Duration
+
+	// Forge, when set, rewrites the coordinate state this node reports —
+	// the malicious hook mirroring vivaldi.Tap for the live path.
+	Forge func(honest wire.ProbeResponse, peer netip) wire.ProbeResponse
+
+	// Seed makes peer selection deterministic (default 1).
+	Seed int64
+}
+
+// netip is the peer address form handed to hooks.
+type netip = string
+
+func (c Config) withDefaults() Config {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.Vivaldi.Space.Dims == 0 {
+		c.Vivaldi.Space = coordspace.EuclideanHeight(2)
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 3 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type inflight struct {
+	sentNano int64
+	peer     string
+	deadline time.Time
+}
+
+// Node is a live Vivaldi daemon.
+type Node struct {
+	cfg  Config
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	vn       *vivaldi.Node
+	rng      *rand.Rand
+	peers    []*net.UDPAddr
+	pending  map[uint32]inflight
+	seq      uint32
+	updates  int
+	closed   bool
+	closedCh chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// New starts a daemon node: binds the socket and launches its probe and
+// read loops. Close must be called to release them.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: listen: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		conn:     conn,
+		vn:       vivaldi.NewNode(cfg.Vivaldi, randx.New(cfg.Seed)),
+		rng:      randx.NewDerived(cfg.Seed, "daemon", 0),
+		pending:  make(map[uint32]inflight),
+		closedCh: make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.readLoop()
+	go n.probeLoop()
+	return n, nil
+}
+
+// Addr returns the bound UDP address.
+func (n *Node) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer registers a peer address to probe.
+func (n *Node) AddPeer(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("daemon: resolve peer %q: %w", addr, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append(n.peers, ua)
+	return nil
+}
+
+// Coord returns the node's current coordinate estimate.
+func (n *Node) Coord() coordspace.Coord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.vn.Coord()
+}
+
+// ErrorEstimate returns the node's current local error estimate.
+func (n *Node) ErrorEstimate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.vn.Error()
+}
+
+// Updates returns how many samples the node has applied.
+func (n *Node) Updates() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.updates
+}
+
+// DistanceTo predicts the RTT in milliseconds to a peer coordinate.
+func (n *Node) DistanceTo(c coordspace.Coord) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Vivaldi.Space.Dist(n.vn.Coord(), c)
+}
+
+// Close shuts the daemon down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.closedCh)
+	n.mu.Unlock()
+	err := n.conn.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.closedCh:
+			return
+		case <-ticker.C:
+			n.sendProbe()
+		}
+	}
+}
+
+func (n *Node) sendProbe() {
+	n.mu.Lock()
+	if len(n.peers) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	peer := n.peers[n.rng.Intn(len(n.peers))]
+	n.seq++
+	seq := n.seq
+	now := time.Now()
+	n.pending[seq] = inflight{
+		sentNano: now.UnixNano(),
+		peer:     peer.String(),
+		deadline: now.Add(n.cfg.ProbeTimeout),
+	}
+	// Opportunistic GC of timed-out probes.
+	for s, p := range n.pending {
+		if now.After(p.deadline) {
+			delete(n.pending, s)
+		}
+	}
+	n.mu.Unlock()
+
+	pkt := wire.AppendRequest(make([]byte, 0, 64), wire.ProbeRequest{
+		Seq:      seq,
+		SentNano: now.UnixNano(),
+	})
+	_, _ = n.conn.WriteToUDP(pkt, peer) // lost probes time out naturally
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		nb, from, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-n.closedCh:
+				return
+			default:
+				continue // transient error; keep serving
+			}
+		}
+		msg, err := wire.Decode(buf[:nb])
+		if err != nil {
+			continue // hostile or corrupt packet: drop silently
+		}
+		switch m := msg.(type) {
+		case wire.ProbeRequest:
+			n.handleRequest(m, from)
+		case wire.ProbeResponse:
+			n.handleResponse(m, from)
+		}
+	}
+}
+
+func (n *Node) handleRequest(req wire.ProbeRequest, from *net.UDPAddr) {
+	n.mu.Lock()
+	coord := n.vn.Coord()
+	errEst := n.vn.Error()
+	n.mu.Unlock()
+
+	resp := wire.ProbeResponse{
+		Seq:      req.Seq,
+		EchoNano: req.SentNano,
+		Error:    errEst,
+		Height:   coord.H,
+		Vec:      coord.V,
+	}
+	peer := from.String()
+	if n.cfg.Forge != nil {
+		resp = n.cfg.Forge(resp, peer)
+		resp.Seq = req.Seq           // forgers cannot fake protocol identity
+		resp.EchoNano = req.SentNano // nor the echoed timestamp
+	}
+	pkt := wire.AppendResponse(make([]byte, 0, 512), resp)
+
+	var delay time.Duration
+	if n.cfg.Latency != nil {
+		delay = n.cfg.Latency(peer)
+	}
+	if delay <= 0 {
+		_, _ = n.conn.WriteToUDP(pkt, from)
+		return
+	}
+	t := time.AfterFunc(delay, func() {
+		select {
+		case <-n.closedCh:
+		default:
+			_, _ = n.conn.WriteToUDP(pkt, from)
+		}
+	})
+	_ = t
+}
+
+func (n *Node) handleResponse(resp wire.ProbeResponse, from *net.UDPAddr) {
+	now := time.Now().UnixNano()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.pending[resp.Seq]
+	if !ok || p.peer != from.String() || p.sentNano != resp.EchoNano {
+		return // unsolicited or replayed: cannot be used to shorten RTTs
+	}
+	delete(n.pending, resp.Seq)
+	rttMs := float64(now-p.sentNano) / 1e6
+	if rttMs <= 0 {
+		return
+	}
+	space := n.cfg.Vivaldi.Space
+	if len(resp.Vec) != space.Dims {
+		return // peer speaks a different geometry; ignore
+	}
+	n.vn.Update(vivaldi.ProbeResponse{
+		Coord: coordspace.Coord{V: resp.Vec, H: resp.Height},
+		Error: resp.Error,
+		RTT:   rttMs,
+	})
+	n.updates++
+}

@@ -1,0 +1,81 @@
+// Package defense implements simple countermeasures for Vivaldi against
+// the paper's attacks — the direction its conclusion (§6) sketches as
+// future work. None of them require a trusted infrastructure; they are
+// local sample-sanity rules installed as a vivaldi.Config.SampleGuard:
+//
+//   - RTT plausibility window: reject samples whose measured RTT exceeds
+//     MaxRTT (bounds all delay-based attacks);
+//   - reported-error floor: treat implausibly confident peers (the
+//     ej=0.01 lie every attack uses) as merely average, collapsing the
+//     adaptive-timestep amplification;
+//   - coordinate bound: reject remote coordinates farther than MaxNorm
+//     from the origin (bounds repulsion/isolation destinations);
+//   - displacement clamp: cap the per-sample movement at MaxStep so no
+//     single lie can teleport a node.
+//
+// These are deliberately primitive — the point of the benchmarks is to
+// quantify how much of the attack surface such cheap rules close, not to
+// propose a complete secure coordinate system.
+package defense
+
+import (
+	"repro/internal/vivaldi"
+)
+
+// Config bounds what an honest node accepts. Zero values take defaults
+// calibrated for millisecond RTT spaces.
+type Config struct {
+	MaxRTT     float64 // reject samples above this measured RTT (default 2000 ms)
+	ErrorFloor float64 // reported errors below this are raised to it (default 0.05)
+	MaxNorm    float64 // reject remote coordinates beyond this norm (default 5000 ms)
+	MaxStep    float64 // cap per-sample displacement (default 100 ms)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRTT == 0 {
+		c.MaxRTT = 2000
+	}
+	if c.ErrorFloor == 0 {
+		c.ErrorFloor = 0.05
+	}
+	if c.MaxNorm == 0 {
+		c.MaxNorm = 5000
+	}
+	if c.MaxStep == 0 {
+		c.MaxStep = 100
+	}
+	return c
+}
+
+// Guard returns a SampleGuard enforcing the configured rules. Install it
+// via vivaldi.Config.SampleGuard.
+func Guard(cfg Config) func(node int, resp vivaldi.ProbeResponse, view vivaldi.View) (vivaldi.ProbeResponse, bool) {
+	cfg = cfg.withDefaults()
+	return func(node int, resp vivaldi.ProbeResponse, view vivaldi.View) (vivaldi.ProbeResponse, bool) {
+		if resp.RTT > cfg.MaxRTT {
+			return resp, false
+		}
+		space := view.Space()
+		if space.NormOf(resp.Coord) > cfg.MaxNorm {
+			return resp, false
+		}
+		if resp.Error < cfg.ErrorFloor {
+			resp.Error = cfg.ErrorFloor
+		}
+		// Displacement clamp: bound how far this sample could move us by
+		// shrinking the implied spring stretch. The worst-case step is
+		// Cc·|rtt − dist| (w ≤ 1), so cap |rtt − dist| at MaxStep/Cc by
+		// clamping the reported RTT toward the estimated distance.
+		dist := space.Dist(view.Coord(node), resp.Coord)
+		limit := cfg.MaxStep / 0.25
+		if resp.RTT > dist+limit {
+			resp.RTT = dist + limit
+		}
+		// Note: rtt below dist−limit pulls us toward the peer by more
+		// than MaxStep; clamp that side too.
+		if resp.RTT < dist-limit {
+			resp.RTT = dist - limit
+		}
+		return resp, true
+	}
+}

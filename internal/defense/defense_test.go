@@ -1,0 +1,115 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/coordspace"
+	"repro/internal/core"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/vivaldi"
+)
+
+func TestGuardRejectsHugeRTT(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(20), 1)
+	sys := vivaldi.NewSystem(m, vivaldi.Config{}, 1)
+	guard := Guard(Config{})
+	resp := vivaldi.ProbeResponse{Coord: sys.Space().Zero(), Error: 0.5, RTT: 3000}
+	if _, ok := guard(0, resp, sys); ok {
+		t.Fatal("3s RTT accepted")
+	}
+	resp.RTT = 150
+	if _, ok := guard(0, resp, sys); !ok {
+		t.Fatal("normal RTT rejected")
+	}
+}
+
+func TestGuardRejectsFarCoordinates(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(20), 1)
+	sys := vivaldi.NewSystem(m, vivaldi.Config{}, 1)
+	guard := Guard(Config{})
+	far := coordspace.Coord{V: []float64{40000, 40000}}
+	if _, ok := guard(0, vivaldi.ProbeResponse{Coord: far, Error: 0.5, RTT: 100}, sys); ok {
+		t.Fatal("far coordinate accepted")
+	}
+}
+
+func TestGuardRaisesReportedErrorFloor(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(20), 1)
+	sys := vivaldi.NewSystem(m, vivaldi.Config{}, 1)
+	guard := Guard(Config{})
+	resp := vivaldi.ProbeResponse{Coord: sys.Space().Zero(), Error: 0.01, RTT: 100}
+	out, ok := guard(0, resp, sys)
+	if !ok {
+		t.Fatal("sample rejected")
+	}
+	if out.Error < 0.05 {
+		t.Fatalf("error floor not applied: %v", out.Error)
+	}
+}
+
+func TestGuardClampsDisplacement(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(20), 1)
+	sys := vivaldi.NewSystem(m, vivaldi.Config{}, 1)
+	guard := Guard(Config{})
+	// Peer claims to be at 3000ms coordinate distance... with RTT 1900 the
+	// raw step would be Cc·w·(1900−dist). Clamp keeps |rtt−dist| ≤ 400.
+	peer := coordspace.Coord{V: []float64{3000, 0}}
+	resp := vivaldi.ProbeResponse{Coord: peer, Error: 0.5, RTT: 1900}
+	out, ok := guard(0, resp, sys)
+	if !ok {
+		t.Fatal("sample rejected")
+	}
+	dist := sys.Space().Dist(sys.Coord(0), peer)
+	if diff := out.RTT - dist; diff < -401 || diff > 401 {
+		t.Fatalf("clamp failed: |rtt−dist| = %v", diff)
+	}
+}
+
+func TestGuardBluntsDisorderAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	m := latency.GenerateKingLike(latency.DefaultKingLike(150), 2)
+	peers := metrics.PeerSets(m.Size(), 0, 1)
+
+	run := func(guarded bool) float64 {
+		cfg := vivaldi.Config{}
+		if guarded {
+			cfg.SampleGuard = Guard(Config{})
+		}
+		sys := vivaldi.NewSystem(m, cfg, 7)
+		sys.Run(1500)
+		mal := core.SelectMalicious(m.Size(), 0.3, nil, 9)
+		malSet := core.MemberSet(mal)
+		for _, id := range mal {
+			sys.SetTap(id, core.NewVivaldiDisorder(id, 9))
+		}
+		sys.Run(1500)
+		honest := func(i int) bool { return !malSet[i] }
+		return metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest))
+	}
+
+	undefended := run(false)
+	defended := run(true)
+	if defended > undefended/3 {
+		t.Fatalf("defense ineffective: defended=%.3f undefended=%.3f", defended, undefended)
+	}
+}
+
+func TestGuardDoesNotHurtCleanSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	m := latency.GenerateKingLike(latency.DefaultKingLike(120), 3)
+	peers := metrics.PeerSets(m.Size(), 0, 1)
+	plain := vivaldi.NewSystem(m, vivaldi.Config{}, 5)
+	plain.Run(2000)
+	guarded := vivaldi.NewSystem(m, vivaldi.Config{SampleGuard: Guard(Config{})}, 5)
+	guarded.Run(2000)
+	pe := metrics.Mean(metrics.NodeErrors(m, plain.Space(), plain.Coords(), peers, nil))
+	ge := metrics.Mean(metrics.NodeErrors(m, guarded.Space(), guarded.Coords(), peers, nil))
+	if ge > pe*1.5+0.05 {
+		t.Fatalf("guard degrades clean accuracy: guarded=%.3f plain=%.3f", ge, pe)
+	}
+}

@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// tinyPreset keeps unit tests fast; it is the benchmark preset.
+var tinyPreset = Bench
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure of the paper's evaluation must be registered; fig17 is
+	// a diagram and must NOT be.
+	want := []string{
+		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22",
+		"fig23", "fig24", "fig25", "fig26",
+	}
+	for _, id := range want {
+		reg, ok := Get(id)
+		if !ok {
+			t.Errorf("experiment %s not registered", id)
+			continue
+		}
+		if reg.Run == nil || reg.Title == "" || reg.Figure == "" {
+			t.Errorf("experiment %s registration incomplete: %+v", id, reg)
+		}
+	}
+	if _, ok := Get("fig17"); ok {
+		t.Error("fig17 is a diagram, not an experiment — must not be registered")
+	}
+	for _, ext := range []string{"extA", "extB", "extC"} {
+		if _, ok := Get(ext); !ok {
+			t.Errorf("extension experiment %s not registered", ext)
+		}
+	}
+	if got := len(List()); got != len(want)+3 {
+		t.Errorf("registry has %d experiments, want %d", got, len(want)+3)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	list := List()
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Fatalf("List not sorted: %s >= %s", list[i-1].ID, list[i].ID)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range []string{"quick", "standard", "full", ""} {
+		if _, err := PresetByName(name); err != nil {
+			t.Errorf("PresetByName(%q): %v", name, err)
+		}
+	}
+	if _, err := PresetByName("bogus"); err == nil {
+		t.Error("bogus preset accepted")
+	}
+}
+
+func TestBaseMatrixCached(t *testing.T) {
+	a := baseMatrix(tinyPreset)
+	b := baseMatrix(tinyPreset)
+	if a != b {
+		t.Fatal("baseMatrix not cached")
+	}
+	sub := subgroupMatrix(tinyPreset, 30)
+	if sub.Size() != 30 {
+		t.Fatalf("subgroup size %d", sub.Size())
+	}
+	if got := subgroupMatrix(tinyPreset, tinyPreset.Nodes); got != a {
+		t.Fatal("full-size subgroup should return the base matrix")
+	}
+}
+
+func TestRunVivaldiCleanBaseline(t *testing.T) {
+	out := RunVivaldi(VivaldiScenario{Preset: tinyPreset, Frac: 0, TrackNode: -1})
+	if out.CleanRef <= 0 || math.IsNaN(out.CleanRef) {
+		t.Fatalf("clean reference %v", out.CleanRef)
+	}
+	// Without attackers the ratio must hover around 1.
+	for k, ratio := range out.Ratio {
+		if ratio < 0.5 || ratio > 2 {
+			t.Fatalf("clean ratio[%d] = %v, want ~1", k, ratio)
+		}
+	}
+	if len(out.FinalErrors) == 0 {
+		t.Fatal("no final errors collected")
+	}
+	if out.RandomRef < 10 {
+		t.Fatalf("random baseline %v implausibly small", out.RandomRef)
+	}
+}
+
+func TestRunVivaldiDisorderDegrades(t *testing.T) {
+	out := RunVivaldi(VivaldiScenario{
+		Preset: tinyPreset, Frac: 0.5,
+		Install: installVivaldiDisorder, TrackNode: -1,
+	})
+	last := out.Ratio[len(out.Ratio)-1]
+	if last < 2 {
+		t.Fatalf("50%% disorder ratio %v, want noticeable degradation", last)
+	}
+}
+
+func TestRunVivaldiSeriesShape(t *testing.T) {
+	out := RunVivaldi(VivaldiScenario{Preset: tinyPreset, Frac: 0, TrackNode: 3})
+	wantSamples := tinyPreset.VivaldiAttackTicks/tinyPreset.MeasureEvery + 1
+	if len(out.Ticks) != wantSamples || len(out.MeanErr) != wantSamples ||
+		len(out.Ratio) != wantSamples || len(out.TargetErr) != wantSamples {
+		t.Fatalf("series lengths %d/%d/%d/%d, want %d", len(out.Ticks),
+			len(out.MeanErr), len(out.Ratio), len(out.TargetErr), wantSamples)
+	}
+	if out.Ticks[0] != tinyPreset.VivaldiConvergeTicks {
+		t.Fatalf("first sample at tick %d", out.Ticks[0])
+	}
+	for k := range out.TargetErr {
+		if math.IsNaN(out.TargetErr[k]) {
+			t.Fatalf("tracked node error NaN at sample %d", k)
+		}
+	}
+}
+
+func TestRunNPSCleanBaseline(t *testing.T) {
+	out := RunNPS(NPSScenario{Preset: tinyPreset, Config: npsConfig(true), Frac: 0}, nil)
+	if out.CleanRef <= 0 || math.IsNaN(out.CleanRef) {
+		t.Fatalf("clean reference %v", out.CleanRef)
+	}
+	for k, ratio := range out.Ratio {
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("clean NPS ratio[%d] = %v", k, ratio)
+		}
+	}
+	if len(out.LayerFinal[2]) == 0 {
+		t.Fatal("no layer-2 errors collected")
+	}
+	if out.Filter.Total != 0 {
+		// A clean system may filter a handful of poorly fitting honest
+		// refs, but none of them can be malicious.
+		if out.Filter.Malicious != 0 {
+			t.Fatal("clean system filtered 'malicious' nodes")
+		}
+	}
+}
+
+func TestRunNPSDisorderFiltering(t *testing.T) {
+	out := RunNPS(NPSScenario{
+		Preset: tinyPreset, Config: npsConfig(true), Frac: 0.2,
+		Install: installNPSDisorder,
+	}, nil)
+	if out.Filter.Total == 0 {
+		t.Fatal("security filter never fired against simple disorder")
+	}
+	if out.Filter.Ratio() < 0.3 {
+		t.Fatalf("filter precision %.2f against simple disorder", out.Filter.Ratio())
+	}
+}
+
+func TestRunNPSColludingMarksVictims(t *testing.T) {
+	out := &NPSOutcome{}
+	RunNPS(NPSScenario{
+		Preset: tinyPreset, Config: npsConfig(true), Frac: 0.2,
+		Install: installNPSColluding(out, 0.2),
+	}, out)
+	if len(out.VictimFinal) == 0 {
+		t.Fatal("no victim errors collected")
+	}
+}
+
+func TestFig01QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run")
+	}
+	reg, _ := Get("fig01")
+	r := reg.Run(tinyPreset)
+	if len(r.Series) != len(attackFractions) {
+		t.Fatalf("fig01 series %d, want %d", len(r.Series), len(attackFractions))
+	}
+	// Headline claim: more attackers, worse ratio (compare 10% vs 75% at
+	// the end of the run).
+	last := func(s Series) float64 { return s.Y[len(s.Y)-1] }
+	if last(r.Series[4]) < last(r.Series[0]) {
+		t.Fatalf("75%% attackers (%v) not worse than 10%% (%v)",
+			last(r.Series[4]), last(r.Series[0]))
+	}
+	if last(r.Series[4]) < 3 {
+		t.Fatalf("75%% disorder ratio %v, want severe degradation", last(r.Series[4]))
+	}
+}
+
+func TestFig14QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run")
+	}
+	reg, _ := Get("fig14")
+	r := reg.Run(tinyPreset)
+	if len(r.Series) != 2*len(npsFractions) {
+		t.Fatalf("fig14 series %d", len(r.Series))
+	}
+	// Security ON at 20% must beat security OFF at 20% (filter works in
+	// the minority regime).
+	var offAt20, onAt20 float64
+	for _, s := range r.Series {
+		switch s.Label {
+		case "sec=false 20%":
+			offAt20 = s.Y[len(s.Y)-1]
+		case "sec=true 20%":
+			onAt20 = s.Y[len(s.Y)-1]
+		}
+	}
+	if onAt20 == 0 || offAt20 == 0 {
+		t.Fatal("expected series not found")
+	}
+	if onAt20 > offAt20*1.2 {
+		t.Fatalf("security on (%.3f) much worse than off (%.3f) at 20%%", onAt20, offAt20)
+	}
+}
+
+func TestPercentLabel(t *testing.T) {
+	if percentLabel(0.3) != "30%" {
+		t.Fatal(percentLabel(0.3))
+	}
+}

@@ -1,0 +1,368 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/coordspace"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nps"
+	"repro/internal/randx"
+)
+
+var npsFractions = []float64{0.10, 0.20, 0.30, 0.40, 0.50}
+
+// knowledgeProbs sweeps the attacker's probability of knowing a victim's
+// coordinates (fig. 19/20/22).
+var knowledgeProbs = []float64{0, 0.5, 1}
+
+func npsConfig(security bool) nps.Config {
+	return nps.Config{Security: security, ProbeThresholdMS: 5000}
+}
+
+func installNPSDisorder(sys *nps.System, malicious []int, rep int, seed int64) {
+	for _, id := range malicious {
+		sys.SetTap(id, core.NewNPSDisorder(id, seed))
+	}
+}
+
+func installNPSNaive(knowP float64) func(*nps.System, []int, int, int64) {
+	return func(sys *nps.System, malicious []int, rep int, seed int64) {
+		for _, id := range malicious {
+			sys.SetTap(id, core.NewNPSAntiDetectionNaive(id, knowP, seed))
+		}
+	}
+}
+
+func installNPSSophisticated(knowP float64) func(*nps.System, []int, int, int64) {
+	return func(sys *nps.System, malicious []int, rep int, seed int64) {
+		for _, id := range malicious {
+			sys.SetTap(id, core.NewNPSAntiDetectionSophisticated(id, knowP, sys.Config().ProbeThresholdMS, seed))
+		}
+	}
+}
+
+// chooseNPSVictims picks the common victim set of a colluding attack: a
+// fraction of the honest layer-2 population. Layer 2 is the interesting
+// layer: in a 3-layer system it holds ordinary hosts, in a 4-layer system
+// its members serve as reference points for layer 3, which is what turns
+// victim mis-positioning into system-wide error propagation (fig. 24/25).
+func chooseNPSVictims(sys *nps.System, malicious map[int]bool, frac float64, seed int64) map[int]bool {
+	pool := make([]int, 0)
+	for _, id := range sys.NodesInLayer(2) {
+		if !malicious[id] {
+			pool = append(pool, id)
+		}
+	}
+	k := int(frac * float64(len(pool)))
+	if k < 1 && len(pool) > 0 {
+		k = 1
+	}
+	rng := randx.NewDerived(seed, "nps-victims", 0)
+	victims := make(map[int]bool, k)
+	for _, idx := range randx.Sample(rng, len(pool), k) {
+		victims[pool[idx]] = true
+	}
+	return victims
+}
+
+// installNPSColluding wires a conspiracy over the malicious population and
+// records the victim set on the outcome for victim-specific measurement.
+func installNPSColluding(out *NPSOutcome, victimFrac float64) func(*nps.System, []int, int, int64) {
+	return func(sys *nps.System, malicious []int, rep int, seed int64) {
+		malSet := core.MemberSet(malicious)
+		victims := chooseNPSVictims(sys, malSet, victimFrac, seed)
+		if out != nil {
+			out.MarkVictims(rep, victims)
+		}
+		c := core.NewNPSConspiracy(malicious, victims, sys.Space(), 2500, seed)
+		for _, id := range malicious {
+			sys.SetTap(id, core.NewNPSColludingIsolation(id, c, sys.Space(), seed))
+		}
+	}
+}
+
+// installNPSCombined splits the malicious population across simple
+// disorder, sophisticated anti-detection and colluding isolation (§5.4.4
+// closing experiment, fig. 26).
+func installNPSCombined(out *NPSOutcome) func(*nps.System, []int, int, int64) {
+	return func(sys *nps.System, malicious []int, rep int, seed int64) {
+		groups := core.SplitEvenly(malicious, 3)
+		installNPSDisorder(sys, groups[0], rep, seed)
+		installNPSSophisticated(0.5)(sys, groups[1], rep, seed)
+		installNPSColluding(out, 0.2)(sys, groups[2], rep, seed)
+	}
+}
+
+func init() {
+	register(Registration{
+		ID: "fig14", Figure: "Figure 14",
+		Title: "NPS injected simple disorder: average relative error vs time",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig14", XLabel: "round", YLabel: "average relative error"}
+			for _, security := range []bool{false, true} {
+				for _, frac := range npsFractions {
+					out := RunNPS(NPSScenario{
+						Preset: p, Config: npsConfig(security), Frac: frac,
+						Install: installNPSDisorder,
+					}, nil)
+					s := Series{Label: fmt.Sprintf("sec=%v %s", security, percentLabel(frac))}
+					for k, round := range out.Rounds {
+						s.Add(float64(round), out.MeanErr[k])
+					}
+					r.Series = append(r.Series, s)
+					r.Notef("sec=%v frac=%s clean=%.3f final=%.3f filtered(mal/total)=%d/%d",
+						security, percentLabel(frac), out.CleanRef, out.FinalMeanErr,
+						out.Filter.Malicious, out.Filter.Total)
+				}
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig15", Figure: "Figure 15",
+		Title: "NPS injected simple disorder: CDF of relative errors",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig15", XLabel: "relative error", YLabel: "cumulative fraction"}
+			clean := RunNPS(NPSScenario{Preset: p, Config: npsConfig(true), Frac: 0}, nil)
+			r.Series = append(r.Series, cdfSeries("clean", clean.FinalErrors))
+			for _, security := range []bool{false, true} {
+				for _, frac := range []float64{0.20, 0.40, 0.50} {
+					out := RunNPS(NPSScenario{
+						Preset: p, Config: npsConfig(security), Frac: frac,
+						Install: installNPSDisorder,
+					}, nil)
+					r.Series = append(r.Series, cdfSeries(
+						fmt.Sprintf("sec=%v %s", security, percentLabel(frac)), out.FinalErrors))
+				}
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig16", Figure: "Figure 16",
+		Title: "NPS injected simple disorder: impact of dimensionality",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig16", XLabel: "malicious %", YLabel: "average relative error"}
+			for _, dims := range []int{6, 8, 10, 12} {
+				s := Series{Label: fmt.Sprintf("%dD", dims)}
+				for _, frac := range []float64{0.10, 0.20, 0.30, 0.50} {
+					cfg := npsConfig(true)
+					cfg.Space = coordspace.Euclidean(dims)
+					out := RunNPS(NPSScenario{
+						Preset: p, Config: cfg, Frac: frac, Install: installNPSDisorder,
+					}, nil)
+					s.Add(frac*100, out.FinalMeanErr)
+					if frac == 0.10 {
+						r.Notef("dims=%d clean=%.3f random=%.1f", dims, out.CleanRef, out.RandomRef)
+					}
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig18", Figure: "Figure 18",
+		Title: "NPS anti-detection naive attackers: impact on convergence",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig18", XLabel: "round", YLabel: "average relative error"}
+			for _, security := range []bool{false, true} {
+				for _, frac := range []float64{0.10, 0.20, 0.30, 0.40} {
+					out := RunNPS(NPSScenario{
+						Preset: p, Config: npsConfig(security), Frac: frac,
+						Install: installNPSNaive(0.5),
+					}, nil)
+					s := Series{Label: fmt.Sprintf("sec=%v %s", security, percentLabel(frac))}
+					for k, round := range out.Rounds {
+						s.Add(float64(round), out.MeanErr[k])
+					}
+					r.Series = append(r.Series, s)
+					r.Notef("sec=%v frac=%s final=%.3f filtered(mal/total)=%d/%d",
+						security, percentLabel(frac), out.FinalMeanErr,
+						out.Filter.Malicious, out.Filter.Total)
+				}
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig19", Figure: "Figure 19",
+		Title: "NPS anti-detection naive: effect of victim coordinate knowledge",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig19", XLabel: "malicious %", YLabel: "relative error ratio"}
+			for _, knowP := range knowledgeProbs {
+				s := Series{Label: fmt.Sprintf("p(know)=%.2f", knowP)}
+				for _, frac := range []float64{0.05, 0.10, 0.20, 0.30} {
+					out := RunNPS(NPSScenario{
+						Preset: p, Config: npsConfig(true), Frac: frac,
+						Install: installNPSNaive(knowP),
+					}, nil)
+					s.Add(frac*100, out.Ratio[len(out.Ratio)-1])
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig20", Figure: "Figure 20",
+		Title: "NPS anti-detection naive: filtered-malicious ratio vs knowledge",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig20", XLabel: "malicious %",
+				YLabel: "malicious filtered / total filtered"}
+			for _, knowP := range knowledgeProbs {
+				s := Series{Label: fmt.Sprintf("p(know)=%.2f", knowP)}
+				for _, frac := range []float64{0.05, 0.10, 0.20, 0.30} {
+					out := RunNPS(NPSScenario{
+						Preset: p, Config: npsConfig(true), Frac: frac,
+						Install: installNPSNaive(knowP),
+					}, nil)
+					s.Add(frac*100, out.Filter.Ratio())
+					r.Notef("p=%.2f frac=%s filtered mal/total=%d/%d",
+						knowP, percentLabel(frac), out.Filter.Malicious, out.Filter.Total)
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig21", Figure: "Figure 21",
+		Title: "NPS anti-detection sophisticated attackers: CDF of relative errors",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig21", XLabel: "relative error", YLabel: "cumulative fraction"}
+			clean := RunNPS(NPSScenario{Preset: p, Config: npsConfig(true), Frac: 0}, nil)
+			r.Series = append(r.Series, cdfSeries("clean", clean.FinalErrors))
+			r.Notef("clean mean=%.3f", clean.CleanRef)
+			for _, frac := range []float64{0.10, 0.20, 0.30} {
+				out := RunNPS(NPSScenario{
+					Preset: p, Config: npsConfig(true), Frac: frac,
+					Install: installNPSSophisticated(0.5),
+				}, nil)
+				r.Series = append(r.Series, cdfSeries(percentLabel(frac), out.FinalErrors))
+				r.Notef("frac=%s final=%.3f", percentLabel(frac), out.FinalMeanErr)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig22", Figure: "Figure 22",
+		Title: "NPS anti-detection sophisticated: filtered-malicious ratio vs knowledge",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig22", XLabel: "malicious %",
+				YLabel: "malicious filtered / total filtered"}
+			for _, knowP := range knowledgeProbs {
+				s := Series{Label: fmt.Sprintf("p(know)=%.2f", knowP)}
+				for _, frac := range []float64{0.05, 0.10, 0.20, 0.30} {
+					out := RunNPS(NPSScenario{
+						Preset: p, Config: npsConfig(true), Frac: frac,
+						Install: installNPSSophisticated(knowP),
+					}, nil)
+					s.Add(frac*100, out.Filter.Ratio())
+					r.Notef("p=%.2f frac=%s filtered mal/total=%d/%d",
+						knowP, percentLabel(frac), out.Filter.Malicious, out.Filter.Total)
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig23", Figure: "Figure 23",
+		Title: "NPS colluding isolation, 3-layer system: CDF of relative errors",
+		Run: func(p Preset) *Result {
+			return npsColludingCDF(p, "fig23", 3)
+		},
+	})
+
+	register(Registration{
+		ID: "fig24", Figure: "Figure 24",
+		Title: "NPS colluding isolation, 4-layer system: CDF of relative errors",
+		Run: func(p Preset) *Result {
+			return npsColludingCDF(p, "fig24", 4)
+		},
+	})
+
+	register(Registration{
+		ID: "fig25", Figure: "Figure 25",
+		Title: "NPS colluding isolation: propagation of errors across layers",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig25", XLabel: "relative error", YLabel: "cumulative fraction"}
+			for _, layers := range []int{3, 4} {
+				cfg := npsConfig(true)
+				cfg.Layers = layers
+				deepest := layers - 1
+
+				clean := RunNPS(NPSScenario{Preset: p, Config: cfg, Frac: 0}, nil)
+				r.Series = append(r.Series, cdfSeries(
+					fmt.Sprintf("%d-layer clean L%d", layers, deepest), clean.LayerFinal[deepest]))
+
+				out := &NPSOutcome{}
+				RunNPS(NPSScenario{
+					Preset: p, Config: cfg, Frac: 0.20,
+					Install: installNPSColluding(out, 0.2),
+				}, out)
+				r.Series = append(r.Series, cdfSeries(
+					fmt.Sprintf("%d-layer attacked L%d", layers, deepest), out.LayerFinal[deepest]))
+				r.Series = append(r.Series, cdfSeries(
+					fmt.Sprintf("%d-layer attacked L2 victims", layers), out.VictimFinal))
+				r.Notef("%d-layer: clean L%d mean=%.3f attacked L%d mean=%.3f victim mean=%.3f",
+					layers, deepest, metrics.Mean(clean.LayerFinal[deepest]),
+					deepest, metrics.Mean(out.LayerFinal[deepest]), metrics.Mean(out.VictimFinal))
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig26", Figure: "Figure 26",
+		Title: "NPS combined attacks: impact on convergence",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig26", XLabel: "round", YLabel: "average relative error"}
+			for _, total := range []float64{0.10, 0.20, 0.30} {
+				out := &NPSOutcome{}
+				RunNPS(NPSScenario{
+					Preset: p, Config: npsConfig(true), Frac: total,
+					Install: installNPSCombined(out),
+				}, out)
+				s := Series{Label: "total " + percentLabel(total)}
+				for k, round := range out.Rounds {
+					s.Add(float64(round), out.MeanErr[k])
+				}
+				r.Series = append(r.Series, s)
+				r.Notef("total=%s clean=%.3f final=%.3f filtered(mal/total)=%d/%d",
+					percentLabel(total), out.CleanRef, out.FinalMeanErr,
+					out.Filter.Malicious, out.Filter.Total)
+			}
+			return r
+		},
+	})
+}
+
+func npsColludingCDF(p Preset, id string, layers int) *Result {
+	r := &Result{ID: id, XLabel: "relative error", YLabel: "cumulative fraction"}
+	cfg := npsConfig(true)
+	cfg.Layers = layers
+	clean := RunNPS(NPSScenario{Preset: p, Config: cfg, Frac: 0}, nil)
+	r.Series = append(r.Series, cdfSeries("clean", clean.FinalErrors))
+	for _, frac := range []float64{0.10, 0.20, 0.30} {
+		out := &NPSOutcome{}
+		RunNPS(NPSScenario{
+			Preset: p, Config: cfg, Frac: frac,
+			Install: installNPSColluding(out, 0.2),
+		}, out)
+		r.Series = append(r.Series, cdfSeries(percentLabel(frac), out.FinalErrors))
+		r.Notef("frac=%s overall mean=%.3f victims mean=%.3f (victims n=%d)",
+			percentLabel(frac), out.FinalMeanErr, metrics.Mean(out.VictimFinal), len(out.VictimFinal))
+	}
+	return r
+}

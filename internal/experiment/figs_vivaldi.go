@@ -1,0 +1,380 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/coordspace"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/vivaldi"
+)
+
+// Shared sweep values (§5.2: 10%..75% malicious; §5.3 dimension and size
+// sweeps). Quick presets reuse the same fractions: they are ratios, not
+// absolute loads.
+var (
+	attackFractions = []float64{0.10, 0.20, 0.30, 0.50, 0.75}
+	cdfFractions    = []float64{0, 0.10, 0.30, 0.50, 0.75}
+	vivaldiSpaces   = []coordspace.Space{
+		coordspace.Euclidean(2),
+		coordspace.Euclidean(3),
+		coordspace.Euclidean(5),
+		coordspace.EuclideanHeight(2),
+	}
+	sizeFractions = []float64{0.15, 0.30, 0.50, 0.75, 1.0}
+)
+
+// repulsionScale is how far from the origin repulsion attackers pick their
+// Xtarget (§5.3.2: "far away from the origin"; the random-coordinate
+// baseline uses the same 50000 scale).
+const repulsionScale = 50000
+
+func installVivaldiDisorder(sys *vivaldi.System, malicious []int, rep int, seed int64) {
+	for _, id := range malicious {
+		sys.SetTap(id, core.NewVivaldiDisorder(id, seed))
+	}
+}
+
+func installVivaldiRepulsion(sys *vivaldi.System, malicious []int, rep int, seed int64) {
+	for _, id := range malicious {
+		sys.SetTap(id, core.NewVivaldiRepulsion(id, sys.Space(), repulsionScale, nil, seed))
+	}
+}
+
+// installVivaldiRepulsionSubset gives each attacker its own independently
+// chosen victim subset of the given fractional size (fig. 7).
+func installVivaldiRepulsionSubset(subsetFrac float64) func(*vivaldi.System, []int, int, int64) {
+	return func(sys *vivaldi.System, malicious []int, rep int, seed int64) {
+		k := int(subsetFrac * float64(sys.Size()))
+		if k < 1 {
+			k = 1
+		}
+		for _, id := range malicious {
+			rng := randx.NewDerived(seed, "subset-victims", id)
+			victims := make(map[int]bool, k)
+			for _, v := range randx.Sample(rng, sys.Size(), k) {
+				victims[v] = true
+			}
+			sys.SetTap(id, core.NewVivaldiRepulsion(id, sys.Space(), repulsionScale, victims, seed))
+		}
+	}
+}
+
+// colludeTarget is the designated victim node of the colluding isolation
+// figures. Node 0 is as good as any: the latency matrix rows carry no
+// special meaning.
+const colludeTarget = 0
+
+func installColludeRepel(sys *vivaldi.System, malicious []int, rep int, seed int64) {
+	c := core.NewConspiracy(colludeTarget, sys.Space(), repulsionScale, 40000, seed)
+	for _, id := range malicious {
+		sys.SetTap(id, core.NewVivaldiColludeRepel(id, c, seed))
+	}
+}
+
+func installColludeLure(sys *vivaldi.System, malicious []int, rep int, seed int64) {
+	c := core.NewConspiracy(colludeTarget, sys.Space(), repulsionScale, 40000, seed)
+	for _, id := range malicious {
+		sys.SetTap(id, core.NewVivaldiColludeLure(id, c, sys.Space(), seed))
+	}
+}
+
+// installCombined splits the attacker population evenly between disorder,
+// repulsion and colluding isolation strategy 1 (§5.3.4).
+func installCombined(sys *vivaldi.System, malicious []int, rep int, seed int64) {
+	groups := core.SplitEvenly(malicious, 3)
+	c := core.NewConspiracy(colludeTarget, sys.Space(), repulsionScale, 40000, seed)
+	for _, id := range groups[0] {
+		sys.SetTap(id, core.NewVivaldiDisorder(id, seed))
+	}
+	for _, id := range groups[1] {
+		sys.SetTap(id, core.NewVivaldiRepulsion(id, sys.Space(), repulsionScale, nil, seed))
+	}
+	for _, id := range groups[2] {
+		sys.SetTap(id, core.NewVivaldiColludeRepel(id, c, seed))
+	}
+}
+
+func notTarget(i int) bool { return i == colludeTarget }
+
+func cdfSeries(label string, values []float64) Series {
+	s := Series{Label: label}
+	for _, pt := range metrics.NewCDF(values).Points(60) {
+		s.Add(pt[0], pt[1])
+	}
+	return s
+}
+
+func init() {
+	register(Registration{
+		ID: "fig01", Figure: "Figure 1",
+		Title: "Vivaldi injected disorder: average relative error ratio vs time",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig01", XLabel: "tick", YLabel: "relative error ratio"}
+			for _, frac := range attackFractions {
+				out := RunVivaldi(VivaldiScenario{
+					Preset: p, Frac: frac, Install: installVivaldiDisorder, TrackNode: -1,
+				})
+				s := Series{Label: percentLabel(frac)}
+				for k, tick := range out.Ticks {
+					s.Add(float64(tick), out.Ratio[k])
+				}
+				r.Series = append(r.Series, s)
+				r.Notef("frac=%s clean=%.3f final=%.3f random=%.1f",
+					percentLabel(frac), out.CleanRef, out.FinalMeanErr, out.RandomRef)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig02", Figure: "Figure 2",
+		Title: "Vivaldi injected disorder: CDF of relative error after the attack",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig02", XLabel: "relative error", YLabel: "cumulative fraction"}
+			for _, frac := range cdfFractions {
+				out := RunVivaldi(VivaldiScenario{
+					Preset: p, Frac: frac, Install: installVivaldiDisorder, TrackNode: -1,
+				})
+				r.Series = append(r.Series, cdfSeries(percentLabel(frac), out.FinalErrors))
+				if frac == 0 {
+					r.Notef("clean converged error=%.3f random baseline=%.1f", out.CleanRef, out.RandomRef)
+				}
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig03", Figure: "Figure 3",
+		Title: "Vivaldi injected disorder: impact of space dimension",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig03", XLabel: "malicious %", YLabel: "average relative error"}
+			for _, space := range vivaldiSpaces {
+				s := Series{Label: space.Name()}
+				for _, frac := range attackFractions {
+					out := RunVivaldi(VivaldiScenario{
+						Preset: p, Space: space, Frac: frac,
+						Install: installVivaldiDisorder, TrackNode: -1,
+					})
+					s.Add(frac*100, out.FinalMeanErr)
+					if frac == attackFractions[0] {
+						r.Notef("space=%s clean=%.3f random=%.1f", space.Name(), out.CleanRef, out.RandomRef)
+					}
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig04", Figure: "Figure 4",
+		Title: "Vivaldi injected disorder: impact of system size",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig04", XLabel: "system size (nodes)", YLabel: "average relative error"}
+			for _, frac := range []float64{0.20, 0.50} {
+				s := Series{Label: percentLabel(frac)}
+				for _, sf := range sizeFractions {
+					n := int(sf * float64(p.Nodes))
+					out := RunVivaldi(VivaldiScenario{
+						Preset: p, Nodes: n, Frac: frac,
+						Install: installVivaldiDisorder, TrackNode: -1,
+					})
+					s.Add(float64(n), out.FinalMeanErr)
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig05", Figure: "Figure 5",
+		Title: "Vivaldi injected repulsion: CDF of relative error",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig05", XLabel: "relative error", YLabel: "cumulative fraction"}
+			for _, frac := range cdfFractions {
+				out := RunVivaldi(VivaldiScenario{
+					Preset: p, Frac: frac, Install: installVivaldiRepulsion, TrackNode: -1,
+				})
+				r.Series = append(r.Series, cdfSeries(percentLabel(frac), out.FinalErrors))
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig06", Figure: "Figure 6",
+		Title: "Vivaldi injected repulsion: impact of space dimension",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig06", XLabel: "malicious %", YLabel: "average relative error"}
+			for _, space := range vivaldiSpaces {
+				s := Series{Label: space.Name()}
+				for _, frac := range attackFractions {
+					out := RunVivaldi(VivaldiScenario{
+						Preset: p, Space: space, Frac: frac,
+						Install: installVivaldiRepulsion, TrackNode: -1,
+					})
+					s.Add(frac*100, out.FinalMeanErr)
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig07", Figure: "Figure 7",
+		Title: "Vivaldi repulsion on independently chosen victim subsets",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig07", XLabel: "malicious %", YLabel: "average relative error"}
+			for _, subset := range []float64{0.05, 0.10, 0.25, 0.50, 1.0} {
+				s := Series{Label: fmt.Sprintf("subset %s", percentLabel(subset))}
+				for _, frac := range []float64{0.10, 0.20, 0.30, 0.50} {
+					out := RunVivaldi(VivaldiScenario{
+						Preset: p, Frac: frac,
+						Install: installVivaldiRepulsionSubset(subset), TrackNode: -1,
+					})
+					s.Add(frac*100, out.FinalMeanErr)
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig08", Figure: "Figure 8",
+		Title: "Vivaldi injected repulsion: effect of system size",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig08", XLabel: "system size (nodes)", YLabel: "average relative error"}
+			for _, frac := range []float64{0.20, 0.50} {
+				s := Series{Label: percentLabel(frac)}
+				for _, sf := range sizeFractions {
+					n := int(sf * float64(p.Nodes))
+					out := RunVivaldi(VivaldiScenario{
+						Preset: p, Nodes: n, Frac: frac,
+						Install: installVivaldiRepulsion, TrackNode: -1,
+					})
+					s.Add(float64(n), out.FinalMeanErr)
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig09", Figure: "Figure 9",
+		Title: "Vivaldi colluding isolation (repel-all): average relative error ratio",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig09", XLabel: "tick", YLabel: "relative error ratio"}
+			for _, frac := range attackFractions {
+				out := RunVivaldi(VivaldiScenario{
+					Preset: p, Frac: frac, Exclude: notTarget,
+					Install: installColludeRepel, TrackNode: -1,
+				})
+				s := Series{Label: percentLabel(frac)}
+				for k, tick := range out.Ticks {
+					s.Add(float64(tick), out.Ratio[k])
+				}
+				r.Series = append(r.Series, s)
+				r.Notef("frac=%s final=%.3f random=%.1f (random/clean ratio=%.1f)",
+					percentLabel(frac), out.FinalMeanErr, out.RandomRef, out.RandomRef/out.CleanRef)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig10", Figure: "Figure 10",
+		Title: "Vivaldi colluding isolation: the target's relative error over time",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig10", XLabel: "tick", YLabel: "target relative error"}
+			strategies := []struct {
+				label   string
+				install func(*vivaldi.System, []int, int, int64)
+			}{
+				{"strategy 1 (repel the world)", installColludeRepel},
+				{"strategy 2 (lure the target)", installColludeLure},
+			}
+			for _, st := range strategies {
+				out := RunVivaldi(VivaldiScenario{
+					Preset: p, Frac: 0.20, Exclude: notTarget,
+					Install: st.install, TrackNode: colludeTarget,
+				})
+				s := Series{Label: st.label}
+				for k, tick := range out.Ticks {
+					s.Add(float64(tick), out.TargetErr[k])
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig11", Figure: "Figure 11",
+		Title: "Vivaldi colluding isolation: CDF of relative errors, both strategies",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig11", XLabel: "relative error", YLabel: "cumulative fraction"}
+			clean := RunVivaldi(VivaldiScenario{Preset: p, Frac: 0, TrackNode: -1})
+			r.Series = append(r.Series, cdfSeries("clean", clean.FinalErrors))
+			repel := RunVivaldi(VivaldiScenario{
+				Preset: p, Frac: 0.30, Exclude: notTarget,
+				Install: installColludeRepel, TrackNode: -1,
+			})
+			r.Series = append(r.Series, cdfSeries("strategy 1 (30%)", repel.FinalErrors))
+			lure := RunVivaldi(VivaldiScenario{
+				Preset: p, Frac: 0.30, Exclude: notTarget,
+				Install: installColludeLure, TrackNode: -1,
+			})
+			r.Series = append(r.Series, cdfSeries("strategy 2 (30%)", lure.FinalErrors))
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig12", Figure: "Figure 12",
+		Title: "Vivaldi combined attacks at low attacker levels: impact on convergence",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig12", XLabel: "tick", YLabel: "average relative error"}
+			for _, total := range []float64{0.03, 0.06, 0.09, 0.12} {
+				out := RunVivaldi(VivaldiScenario{
+					Preset: p, Frac: total, Exclude: notTarget,
+					Install: installCombined, TrackNode: -1,
+				})
+				s := Series{Label: "total " + percentLabel(total)}
+				for k, tick := range out.Ticks {
+					s.Add(float64(tick), out.MeanErr[k])
+				}
+				r.Series = append(r.Series, s)
+				r.Notef("total=%s clean=%.3f final=%.3f", percentLabel(total), out.CleanRef, out.FinalMeanErr)
+			}
+			return r
+		},
+	})
+
+	register(Registration{
+		ID: "fig13", Figure: "Figure 13",
+		Title: "Vivaldi combined attacks: effect of system size",
+		Run: func(p Preset) *Result {
+			r := &Result{ID: "fig13", XLabel: "system size (nodes)", YLabel: "average relative error"}
+			for _, total := range []float64{0.06, 0.12} {
+				s := Series{Label: "total " + percentLabel(total)}
+				for _, sf := range sizeFractions {
+					n := int(sf * float64(p.Nodes))
+					out := RunVivaldi(VivaldiScenario{
+						Preset: p, Nodes: n, Frac: total, Exclude: notTarget,
+						Install: installCombined, TrackNode: -1,
+					})
+					s.Add(float64(n), out.FinalMeanErr)
+				}
+				r.Series = append(r.Series, s)
+			}
+			return r
+		},
+	})
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/nps"
+	"repro/internal/randx"
+)
+
+// NPSScenario drives one NPS attack experiment (§5.4): build the layered
+// system, converge it cleanly, inject attackers among the non-landmark
+// population, keep positioning, and measure.
+type NPSScenario struct {
+	Preset Preset
+
+	// Config seeds the NPS deployment; zero fields take NPS defaults, and
+	// SolveIterations is filled from the preset when unset.
+	Config nps.Config
+
+	// Nodes overrides Preset.Nodes; 0 keeps it.
+	Nodes int
+
+	// Frac is the malicious fraction of the population (landmarks are
+	// never selected: the paper assumes them secure).
+	Frac float64
+
+	// Install installs taps on the selected malicious nodes.
+	Install func(sys *nps.System, malicious []int, rep int, seed int64)
+}
+
+// NPSOutcome aggregates a scenario over its repetitions.
+type NPSOutcome struct {
+	Rounds       []int     // sample rounds (absolute)
+	MeanErr      []float64 // mean honest error per sample
+	Ratio        []float64 // normalized to the clean reference
+	FinalErrors  []float64 // per-honest-node errors at the end, all reps
+	CleanRef     float64
+	RandomRef    float64
+	FinalMeanErr float64
+	Filter       nps.FilterStats      // aggregated over reps (attack phase only)
+	LayerFinal   map[int][]float64    // final errors grouped by layer
+	VictimFinal  []float64            // final errors of designated victims (colluding figs)
+	victimsByRep map[int]map[int]bool // populated through MarkVictims
+}
+
+// MarkVictims lets an Install callback record the victim set of a rep so
+// the driver can collect victim-only errors afterwards.
+func (o *NPSOutcome) MarkVictims(rep int, victims map[int]bool) {
+	if o.victimsByRep == nil {
+		o.victimsByRep = make(map[int]map[int]bool)
+	}
+	o.victimsByRep[rep] = victims
+}
+
+// RunNPS executes the scenario at its preset. The Install callback may
+// capture the returned *NPSOutcome (passed via scenario closure) to mark
+// victims; see the colluding figures.
+func RunNPS(sc NPSScenario, out *NPSOutcome) *NPSOutcome {
+	p := sc.Preset
+	if out == nil {
+		out = &NPSOutcome{}
+	}
+	nodes := p.Nodes
+	if sc.Nodes > 0 {
+		nodes = sc.Nodes
+	}
+	var m *latency.Matrix
+	if nodes == p.Nodes {
+		m = baseMatrix(p)
+	} else {
+		m = subgroupMatrix(p, nodes)
+	}
+	cfg := sc.Config
+	if cfg.SolveIterations == 0 {
+		cfg.SolveIterations = p.NPSSolveIterations
+	}
+	peers := metrics.PeerSets(m.Size(), p.EvalPeers, randx.DeriveSeed(p.Seed, "eval-peers", nodes))
+
+	nSamples := p.NPSAttackRounds + 1
+	out.Rounds = make([]int, nSamples)
+	out.MeanErr = make([]float64, nSamples)
+	out.Ratio = make([]float64, nSamples)
+	out.LayerFinal = make(map[int][]float64)
+	for k := 0; k < nSamples; k++ {
+		out.Rounds[k] = p.NPSConvergeRounds + k
+	}
+
+	var cleanSum, finalSum float64
+	for rep := 0; rep < p.Reps; rep++ {
+		repSeed := randx.DeriveSeed(p.Seed, "nps-rep", rep)
+		sys := nps.NewSystem(m, cfg, repSeed)
+		if rep == 0 {
+			out.RandomRef = metrics.RandomBaseline(m, sys.Space(), peers, 50000, randx.DeriveSeed(p.Seed, "random-ref-nps", nodes))
+		}
+		sys.Run(p.NPSConvergeRounds)
+
+		notLandmark := func(i int) bool { return !sys.IsLandmark(i) }
+		cleanRef := metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, notLandmark))
+		cleanSum += cleanRef
+
+		malicious := core.SelectMalicious(sys.Size(), sc.Frac, sys.IsLandmark, repSeed)
+		malSet := core.MemberSet(malicious)
+		if sc.Install != nil && len(malicious) > 0 {
+			sc.Install(sys, malicious, rep, repSeed)
+		}
+		sys.ResetStats() // count filter decisions during the attack only
+		honest := func(i int) bool { return !malSet[i] && !sys.IsLandmark(i) }
+
+		sample := func(k int) {
+			errs := metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest)
+			mean := metrics.Mean(errs)
+			out.MeanErr[k] += mean / float64(p.Reps)
+			out.Ratio[k] += metrics.Ratio(mean, cleanRef) / float64(p.Reps)
+		}
+		sample(0)
+		for k := 1; k < nSamples; k++ {
+			sys.Step()
+			sample(k)
+		}
+
+		finalErrs := metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest)
+		for i, e := range finalErrs {
+			if math.IsNaN(e) {
+				continue
+			}
+			out.FinalErrors = append(out.FinalErrors, e)
+			out.LayerFinal[sys.Layer(i)] = append(out.LayerFinal[sys.Layer(i)], e)
+		}
+		if vs := out.victimsByRep[rep]; vs != nil {
+			for v := range vs {
+				if e := finalErrs[v]; !math.IsNaN(e) {
+					out.VictimFinal = append(out.VictimFinal, e)
+				}
+			}
+		}
+		finalSum += metrics.Mean(finalErrs)
+		st := sys.Stats()
+		out.Filter.Total += st.Total
+		out.Filter.Malicious += st.Malicious
+	}
+	out.CleanRef = cleanSum / float64(p.Reps)
+	out.FinalMeanErr = finalSum / float64(p.Reps)
+	return out
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"math"
+
+	"repro/internal/coordspace"
+	"repro/internal/core"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/vivaldi"
+)
+
+// VivaldiScenario drives one Vivaldi attack experiment: converge a clean
+// system, inject an attacker population, keep running, and measure. All
+// figures in §5.3 are instances of this with different Install functions.
+type VivaldiScenario struct {
+	Preset Preset
+
+	// Space overrides the 2-D default (dimension-sweep figures).
+	Space coordspace.Space
+
+	// Nodes overrides Preset.Nodes (system-size figures); 0 keeps it.
+	Nodes int
+
+	// Frac is the malicious fraction of the population.
+	Frac float64
+
+	// Exclude removes nodes from attacker eligibility (e.g. a designated
+	// target that must stay honest).
+	Exclude func(i int) bool
+
+	// Install installs taps for the selected malicious nodes. It runs
+	// after clean convergence ("injection" context, §5.2).
+	Install func(sys *vivaldi.System, malicious []int, rep int, seed int64)
+
+	// TrackNode, when >= 0, additionally records that node's own relative
+	// error over time (fig. 10).
+	TrackNode int
+}
+
+// VivaldiOutcome aggregates a scenario over its repetitions.
+type VivaldiOutcome struct {
+	Ticks        []int     // sample ticks (absolute, shared by all series)
+	MeanErr      []float64 // mean honest relative error per sample
+	Ratio        []float64 // MeanErr normalized to the clean reference
+	TargetErr    []float64 // tracked node's error per sample (if tracked)
+	FinalErrors  []float64 // per-honest-node errors at the end, all reps
+	CleanRef     float64   // clean converged error (mean over reps)
+	RandomRef    float64   // random-coordinate baseline (§5.1)
+	FinalMeanErr float64   // mean honest error at the end (mean over reps)
+}
+
+// RunVivaldi executes the scenario at its preset.
+func RunVivaldi(sc VivaldiScenario) VivaldiOutcome {
+	p := sc.Preset
+	nodes := p.Nodes
+	if sc.Nodes > 0 {
+		nodes = sc.Nodes
+	}
+	space := sc.Space
+	if space.Dims == 0 {
+		space = coordspace.Euclidean(2)
+	}
+	var m *latency.Matrix
+	if nodes == p.Nodes {
+		m = baseMatrix(p)
+	} else {
+		m = subgroupMatrix(p, nodes)
+	}
+	peers := metrics.PeerSets(m.Size(), p.EvalPeers, randx.DeriveSeed(p.Seed, "eval-peers", nodes))
+
+	nSamples := p.VivaldiAttackTicks/p.MeasureEvery + 1
+	out := VivaldiOutcome{
+		Ticks:     make([]int, nSamples),
+		MeanErr:   make([]float64, nSamples),
+		Ratio:     make([]float64, nSamples),
+		TargetErr: make([]float64, nSamples),
+	}
+	for k := 0; k < nSamples; k++ {
+		out.Ticks[k] = p.VivaldiConvergeTicks + k*p.MeasureEvery
+	}
+	out.RandomRef = metrics.RandomBaseline(m, space, peers, 50000, randx.DeriveSeed(p.Seed, "random-ref", nodes))
+
+	var cleanSum, finalSum float64
+	for rep := 0; rep < p.Reps; rep++ {
+		repSeed := randx.DeriveSeed(p.Seed, "vivaldi-rep", rep)
+		sys := vivaldi.NewSystem(m, vivaldi.Config{Space: space}, repSeed)
+		sys.Run(p.VivaldiConvergeTicks)
+
+		cleanErrs := metrics.NodeErrors(m, space, sys.Coords(), peers, nil)
+		cleanRef := metrics.Mean(cleanErrs)
+		cleanSum += cleanRef
+
+		malicious := SelectVivaldiMalicious(sys, sc.Frac, sc.Exclude, repSeed)
+		malSet := make(map[int]bool, len(malicious))
+		for _, id := range malicious {
+			malSet[id] = true
+		}
+		if sc.Install != nil && len(malicious) > 0 {
+			sc.Install(sys, malicious, rep, repSeed)
+		}
+		honest := func(i int) bool { return !malSet[i] }
+
+		sample := func(k int) {
+			errs := metrics.NodeErrors(m, space, sys.Coords(), peers, honest)
+			mean := metrics.Mean(errs)
+			out.MeanErr[k] += mean / float64(p.Reps)
+			out.Ratio[k] += metrics.Ratio(mean, cleanRef) / float64(p.Reps)
+			if sc.TrackNode >= 0 {
+				te := errs[sc.TrackNode]
+				if math.IsNaN(te) {
+					te = singleNodeError(m, space, sys, peers, sc.TrackNode)
+				}
+				out.TargetErr[k] += te / float64(p.Reps)
+			}
+		}
+		sample(0)
+		for k := 1; k < nSamples; k++ {
+			sys.Run(p.MeasureEvery)
+			sample(k)
+		}
+		finalErrs := metrics.NodeErrors(m, space, sys.Coords(), peers, honest)
+		for _, e := range finalErrs {
+			if !math.IsNaN(e) {
+				out.FinalErrors = append(out.FinalErrors, e)
+			}
+		}
+		finalSum += metrics.Mean(finalErrs)
+	}
+	out.CleanRef = cleanSum / float64(p.Reps)
+	out.FinalMeanErr = finalSum / float64(p.Reps)
+	return out
+}
+
+// singleNodeError recomputes one node's error even if it was excluded from
+// the honest set (a tracked target may be attacked but never malicious, so
+// this is a rare fallback).
+func singleNodeError(m *latency.Matrix, space coordspace.Space, sys *vivaldi.System, peers [][]int, node int) float64 {
+	sum, cnt := 0.0, 0
+	for _, j := range peers[node] {
+		actual := m.RTT(node, j)
+		if actual <= 0 {
+			continue
+		}
+		sum += metrics.RelativeError(actual, space.Dist(sys.Coord(node), sys.Coord(j)))
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}
+
+// SelectVivaldiMalicious picks the attacker population for one repetition.
+func SelectVivaldiMalicious(sys *vivaldi.System, frac float64, exclude func(int) bool, seed int64) []int {
+	return core.SelectMalicious(sys.Size(), frac, exclude, seed)
+}

@@ -1,0 +1,242 @@
+// Package gnp implements Global Network Positioning (Ng & Zhang, INFOCOM
+// 2002): a fixed set of landmarks is embedded first by minimizing the error
+// between measured and predicted pairwise distances, and every ordinary
+// host then positions itself against the landmark coordinates.
+//
+// NPS (internal/nps) is the hierarchical generalization of this package;
+// it reuses both the objective function and the per-host solve. GNP also
+// serves as a standalone baseline in the experiments.
+//
+// The objective is GNP's sum of squared relative errors. The original code
+// ran one joint Simplex Downhill over all landmark coordinates at once;
+// this implementation uses coordinate-descent rounds of per-landmark
+// Simplex solves, which minimizes the same objective with far better
+// conditioning (see DESIGN.md §2).
+package gnp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/coordspace"
+	"repro/internal/latency"
+	"repro/internal/optimize"
+	"repro/internal/randx"
+)
+
+// Objective returns GNP's positioning objective for a host: the sum of
+// squared relative errors between the measured RTTs and the distances
+// predicted from position x to each anchor coordinate. Anchors with
+// non-positive measured RTT are skipped.
+func Objective(space coordspace.Space, anchors []coordspace.Coord, rtts []float64) func(x []float64) float64 {
+	return func(x []float64) float64 {
+		c := coordspace.Coord{V: x}
+		sum := 0.0
+		for k, a := range anchors {
+			if rtts[k] <= 0 {
+				continue
+			}
+			pred := space.Dist(c, a)
+			rel := (pred - rtts[k]) / rtts[k]
+			sum += rel * rel
+		}
+		return sum
+	}
+}
+
+// ObjectiveAbsolute returns the sum of squared *absolute* errors in ms².
+// This is the objective NPS host positioning uses (see nps.Config): under
+// it, a constraint with a hugely inflated measured RTT exerts a pull
+// proportional to its absolute misfit, which is exactly the lever the
+// paper's delay-based attacks exploit and the reason NPS needs a probe
+// threshold at all. Anchors with non-positive measured RTT are skipped.
+func ObjectiveAbsolute(space coordspace.Space, anchors []coordspace.Coord, rtts []float64) func(x []float64) float64 {
+	return func(x []float64) float64 {
+		c := coordspace.Coord{V: x}
+		sum := 0.0
+		for k, a := range anchors {
+			if rtts[k] <= 0 {
+				continue
+			}
+			diff := space.Dist(c, a) - rtts[k]
+			sum += diff * diff
+		}
+		return sum
+	}
+}
+
+// PositionHost solves for a host position given anchor coordinates and the
+// host's measured RTTs to them. start is the previous estimate (use the
+// space origin for a fresh host); a small random jitter derived from rng
+// desynchronizes restarts. It returns the new coordinate and the residual
+// objective value.
+func PositionHost(space coordspace.Space, anchors []coordspace.Coord, rtts []float64, start coordspace.Coord, rng *rand.Rand) (coordspace.Coord, float64) {
+	return PositionHostIter(space, anchors, rtts, start, rng, 200*space.Dims)
+}
+
+// PositionHostIter is PositionHost with an explicit Simplex iteration cap,
+// the performance knob NPS exposes as Config.SolveIterations.
+func PositionHostIter(space coordspace.Space, anchors []coordspace.Coord, rtts []float64, start coordspace.Coord, rng *rand.Rand, maxIter int) (coordspace.Coord, float64) {
+	return positionHost(Objective(space, anchors, rtts), space, anchors, rtts, start, rng, maxIter)
+}
+
+// PositionHostAbsolute is PositionHostIter under the absolute-error
+// objective (see ObjectiveAbsolute).
+func PositionHostAbsolute(space coordspace.Space, anchors []coordspace.Coord, rtts []float64, start coordspace.Coord, rng *rand.Rand, maxIter int) (coordspace.Coord, float64) {
+	return positionHost(ObjectiveAbsolute(space, anchors, rtts), space, anchors, rtts, start, rng, maxIter)
+}
+
+func positionHost(obj func([]float64) float64, space coordspace.Space, anchors []coordspace.Coord, rtts []float64, start coordspace.Coord, rng *rand.Rand, maxIter int) (coordspace.Coord, float64) {
+	if len(anchors) != len(rtts) {
+		panic("gnp: anchors and rtts length mismatch")
+	}
+	x0 := make([]float64, space.Dims)
+	copy(x0, start.V)
+	for i := range x0 {
+		x0[i] += rng.NormFloat64() * 0.5
+	}
+	res := optimize.Minimize(obj, x0, optimize.Options{
+		MaxIter:  maxIter,
+		InitStep: 25,
+	})
+	return coordspace.Coord{V: res.X}, res.F
+}
+
+// SelectLandmarks picks k "well separated" landmarks from the matrix by
+// greedy max-min RTT (k-center): the first landmark is the node with the
+// largest median RTT footprint, each subsequent one maximizes the minimum
+// RTT to the landmarks chosen so far. This mirrors the paper's requirement
+// of 20 well separated permanent landmarks (§5.2).
+func SelectLandmarks(m *latency.Matrix, k int) []int {
+	n := m.Size()
+	if k > n {
+		panic("gnp: more landmarks than nodes")
+	}
+	// Start from the node with the largest total RTT (an extreme point).
+	first, best := 0, -1.0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += m.RTT(i, j)
+		}
+		if sum > best {
+			best, first = sum, i
+		}
+	}
+	chosen := []int{first}
+	minDist := make([]float64, n)
+	for j := range minDist {
+		minDist[j] = m.RTT(first, j)
+	}
+	for len(chosen) < k {
+		next, far := -1, -1.0
+		for j := 0; j < n; j++ {
+			if minDist[j] > far && !contains(chosen, j) {
+				far, next = minDist[j], j
+			}
+		}
+		chosen = append(chosen, next)
+		for j := 0; j < n; j++ {
+			if d := m.RTT(next, j); d < minDist[j] {
+				minDist[j] = d
+			}
+		}
+	}
+	return chosen
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SolveLandmarks embeds the landmark set: rounds of coordinate descent in
+// which each landmark repositions itself against the others' current
+// coordinates and the measured landmark-landmark RTTs. Several random
+// restarts are attempted and the lowest-objective embedding wins. Returns
+// one coordinate per entry of landmarkIDs.
+func SolveLandmarks(m *latency.Matrix, landmarkIDs []int, space coordspace.Space, seed int64) []coordspace.Coord {
+	const restarts = 8
+	// "Good enough" residual: a numerically perfect embedding of k points.
+	perfect := 1e-8 * float64(len(landmarkIDs)*len(landmarkIDs))
+	var best []coordspace.Coord
+	bestObj := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		coords, obj := solveLandmarksOnce(m, landmarkIDs, space, randx.DeriveSeed(seed, "gnp-landmarks", r))
+		if obj < bestObj {
+			best, bestObj = coords, obj
+		}
+		if bestObj < perfect {
+			break
+		}
+	}
+	return best
+}
+
+func solveLandmarksOnce(m *latency.Matrix, landmarkIDs []int, space coordspace.Space, seed int64) ([]coordspace.Coord, float64) {
+	rng := randx.New(seed)
+	k := len(landmarkIDs)
+	coords := make([]coordspace.Coord, k)
+	// Random small initial placement breaks symmetry.
+	for i := range coords {
+		coords[i] = space.Random(rng, 50)
+	}
+	rtts := make([]float64, k-1)
+	anchors := make([]coordspace.Coord, k-1)
+
+	total := func() float64 {
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				meas := m.RTT(landmarkIDs[i], landmarkIDs[j])
+				if meas <= 0 {
+					continue
+				}
+				rel := (space.Dist(coords[i], coords[j]) - meas) / meas
+				sum += rel * rel
+			}
+		}
+		return sum
+	}
+
+	const maxRounds = 40
+	prev := math.Inf(1)
+	for r := 0; r < maxRounds; r++ {
+		for i := 0; i < k; i++ {
+			idx := 0
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				anchors[idx] = coords[j]
+				rtts[idx] = m.RTT(landmarkIDs[i], landmarkIDs[j])
+				idx++
+			}
+			res := optimize.Minimize(Objective(space, anchors, rtts), coords[i].V, optimize.Options{
+				MaxIter:  200 * space.Dims,
+				InitStep: 25,
+			})
+			coords[i] = coordspace.Coord{V: res.X}
+		}
+		if obj := total(); prev-obj < 1e-10 {
+			return coords, obj
+		} else {
+			prev = obj
+		}
+	}
+	return coords, prev
+}
+
+// FitError returns the §3.1 fitting error of a host position against one
+// anchor: |dist(pos, anchor) − measured| / measured. NPS's security filter
+// is built on this quantity.
+func FitError(space coordspace.Space, pos, anchor coordspace.Coord, measured float64) float64 {
+	if measured <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(space.Dist(pos, anchor)-measured) / measured
+}

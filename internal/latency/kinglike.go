@@ -1,0 +1,133 @@
+package latency
+
+import (
+	"math"
+
+	"repro/internal/randx"
+)
+
+// KingLikeConfig parameterises the synthetic Internet generator. The zero
+// value is not useful; start from DefaultKingLike().
+type KingLikeConfig struct {
+	Nodes int // number of hosts (paper: 1740)
+
+	// Geography. Hosts live in clusters ("regions") placed on a 2-D plane
+	// whose unit is one millisecond of one-way core latency; RTT across the
+	// core is twice the plane distance.
+	Clusters      int     // number of regions
+	ClusterRadius float64 // plane radius on which cluster centres are placed (ms)
+	ClusterSpread float64 // Gaussian spread of hosts around their centre (ms)
+
+	// Access links. Each host pays a heavy-tailed last-mile delay added to
+	// every path (the "height" of the Vivaldi height model).
+	AccessScale float64 // Pareto scale xm (ms)
+	AccessShape float64 // Pareto shape alpha
+	AccessCap   float64 // cap on access delay (ms)
+
+	// Path noise. Each pair's RTT is multiplied by a lognormal factor,
+	// which yields mild, realistic triangle-inequality violations.
+	JitterSigma float64
+
+	// Routing detours. A fraction of pairs take a policy detour and have
+	// their RTT inflated by a uniform factor in [DetourMin, DetourMax],
+	// producing the persistent large TIVs measured on the real Internet.
+	DetourFraction float64
+	DetourMin      float64
+	DetourMax      float64
+
+	MinRTT float64 // floor for any pair (ms)
+}
+
+// DefaultKingLike returns a configuration calibrated so that the resulting
+// distribution resembles the published King dataset statistics: median RTT
+// in the tens-of-ms to ~100 ms range, a heavy tail, and a persistent small
+// percentage of triangle violations.
+func DefaultKingLike(nodes int) KingLikeConfig {
+	return KingLikeConfig{
+		Nodes:          nodes,
+		Clusters:       9,
+		ClusterRadius:  38,
+		ClusterSpread:  7,
+		AccessScale:    2.0,
+		AccessShape:    1.9,
+		AccessCap:      120,
+		JitterSigma:    0.10,
+		DetourFraction: 0.04,
+		DetourMin:      1.3,
+		DetourMax:      2.4,
+		MinRTT:         0.5,
+	}
+}
+
+// GenerateKingLike builds a synthetic RTT matrix per cfg, deterministically
+// from seed. See the package comment and DESIGN.md §2 for the rationale of
+// each ingredient.
+func GenerateKingLike(cfg KingLikeConfig, seed int64) *Matrix {
+	if cfg.Nodes <= 1 {
+		panic("latency: need at least 2 nodes")
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	rng := randx.NewDerived(seed, "kinglike", 0)
+
+	// Cluster centres: uniform in a disc of ClusterRadius.
+	cx := make([]float64, cfg.Clusters)
+	cy := make([]float64, cfg.Clusters)
+	for c := range cx {
+		for {
+			x := randx.Uniform(rng, -cfg.ClusterRadius, cfg.ClusterRadius)
+			y := randx.Uniform(rng, -cfg.ClusterRadius, cfg.ClusterRadius)
+			if x*x+y*y <= cfg.ClusterRadius*cfg.ClusterRadius {
+				cx[c], cy[c] = x, y
+				break
+			}
+		}
+	}
+
+	// Hosts: round-robin across clusters so every region is populated, with
+	// Gaussian spread around the centre and a Pareto access delay.
+	px := make([]float64, cfg.Nodes)
+	py := make([]float64, cfg.Nodes)
+	access := make([]float64, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		c := i % cfg.Clusters
+		px[i] = cx[c] + rng.NormFloat64()*cfg.ClusterSpread
+		py[i] = cy[c] + rng.NormFloat64()*cfg.ClusterSpread
+		a := randx.Pareto(rng, cfg.AccessScale, cfg.AccessShape)
+		if a > cfg.AccessCap {
+			a = cfg.AccessCap
+		}
+		access[i] = a
+	}
+
+	m := NewMatrix(cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			dx, dy := px[i]-px[j], py[i]-py[j]
+			core := 2 * math.Hypot(dx, dy) // one-way plane distance -> RTT
+			rtt := core + access[i] + access[j]
+			rtt *= math.Exp(rng.NormFloat64() * cfg.JitterSigma)
+			if randx.Bernoulli(rng, cfg.DetourFraction) {
+				rtt *= randx.Uniform(rng, cfg.DetourMin, cfg.DetourMax)
+			}
+			if rtt < cfg.MinRTT {
+				rtt = cfg.MinRTT
+			}
+			m.Set(i, j, rtt)
+		}
+	}
+	return m
+}
+
+// RandomSubgroup draws a k-node subgroup (deterministically from seed) and
+// returns its submatrix together with the chosen parent indices. The paper
+// derives its "system size" sweeps this way from the 1740-node set.
+func RandomSubgroup(m *Matrix, k int, seed int64) (*Matrix, []int) {
+	if k > m.Size() {
+		panic("latency: subgroup larger than matrix")
+	}
+	rng := randx.NewDerived(seed, "subgroup", k)
+	nodes := randx.Sample(rng, m.Size(), k)
+	return m.Submatrix(nodes), nodes
+}

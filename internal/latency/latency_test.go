@@ -1,0 +1,256 @@
+package latency
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixSetSymmetric(t *testing.T) {
+	m := NewMatrix(4)
+	m.Set(1, 2, 42.5)
+	if m.RTT(1, 2) != 42.5 || m.RTT(2, 1) != 42.5 {
+		t.Fatalf("RTT not symmetric: %v vs %v", m.RTT(1, 2), m.RTT(2, 1))
+	}
+}
+
+func TestMatrixDiagonalZero(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 1, 99) // ignored
+	if m.RTT(1, 1) != 0 {
+		t.Fatal("diagonal must stay zero")
+	}
+}
+
+func TestMatrixRejectsInvalid(t *testing.T) {
+	m := NewMatrix(3)
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%v) did not panic", v)
+				}
+			}()
+			m.Set(0, 1, v)
+		}()
+	}
+}
+
+func TestNewMatrixPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0)
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := NewMatrix(5)
+	m.Set(1, 3, 10)
+	m.Set(1, 4, 20)
+	m.Set(3, 4, 30)
+	sub := m.Submatrix([]int{1, 3, 4})
+	if sub.Size() != 3 {
+		t.Fatalf("size %d", sub.Size())
+	}
+	if sub.RTT(0, 1) != 10 || sub.RTT(0, 2) != 20 || sub.RTT(1, 2) != 30 {
+		t.Fatalf("submatrix wrong: %v %v %v", sub.RTT(0, 1), sub.RTT(0, 2), sub.RTT(1, 2))
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, 10)
+	m.Set(0, 2, 20)
+	m.Set(1, 2, 30)
+	s := m.Stats()
+	if s.Pairs != 3 || s.Min != 10 || s.Max != 30 || s.Median != 20 {
+		t.Fatalf("stats %+v", s)
+	}
+	if math.Abs(s.Mean-20) > 1e-9 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if !strings.Contains(s.String(), "median=20.0ms") {
+		t.Fatalf("stats string %q", s.String())
+	}
+}
+
+func TestTIVFractionMetricSpace(t *testing.T) {
+	// Points on a line: no triangle violations.
+	m := NewMatrix(6)
+	pos := []float64{0, 1, 3, 7, 12, 20}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			m.Set(i, j, math.Abs(pos[i]-pos[j]))
+		}
+	}
+	if f := m.TIVFraction(0); f != 0 {
+		t.Fatalf("metric space has TIV fraction %v", f)
+	}
+}
+
+func TestTIVFractionDetectsViolation(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 1)
+	m.Set(0, 2, 10) // gross violation
+	if f := m.TIVFraction(0); f != 1 {
+		t.Fatalf("TIV fraction %v, want 1", f)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := GenerateKingLike(DefaultKingLike(12), 99)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != m.Size() {
+		t.Fatalf("size %d, want %d", got.Size(), m.Size())
+	}
+	for i := 0; i < m.Size(); i++ {
+		for j := 0; j < m.Size(); j++ {
+			if math.Abs(got.RTT(i, j)-m.RTT(i, j)) > 0.001 {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, got.RTT(i, j), m.RTT(i, j))
+			}
+		}
+	}
+}
+
+func TestLoadTriples(t *testing.T) {
+	in := "# comment\n0 1 12.5\n2 0 7\n1 2 9.25\n"
+	m, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("size %d", m.Size())
+	}
+	if m.RTT(0, 1) != 12.5 || m.RTT(0, 2) != 7 || m.RTT(2, 1) != 9.25 {
+		t.Fatalf("triples mis-loaded: %v %v %v", m.RTT(0, 1), m.RTT(0, 2), m.RTT(2, 1))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"rttmatrix x",
+		"rttmatrix 2\n1 2 3\n",      // wrong row width
+		"rttmatrix 2\n0 1\n",        // truncated
+		"0 1\n",                     // not a triple
+		"0 1 -5\n",                  // negative rtt
+		"rttmatrix 2\n0 -1\n-1 0\n", // negative value
+		"rttmatrix 2\n0 5\n9 0\n",   // asymmetric
+		"0 0 1\n",                   // max index < 1
+	}
+	for _, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestGenerateKingLikeDeterministic(t *testing.T) {
+	a := GenerateKingLike(DefaultKingLike(30), 5)
+	b := GenerateKingLike(DefaultKingLike(30), 5)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if a.RTT(i, j) != b.RTT(i, j) {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+	c := GenerateKingLike(DefaultKingLike(30), 6)
+	same := true
+	for i := 0; i < 30 && same; i++ {
+		for j := i + 1; j < 30; j++ {
+			if a.RTT(i, j) != c.RTT(i, j) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestGenerateKingLikeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution check")
+	}
+	m := GenerateKingLike(DefaultKingLike(400), 1)
+	s := m.Stats()
+	if s.Min < 0.5 {
+		t.Fatalf("min RTT %v below floor", s.Min)
+	}
+	if s.Median < 30 || s.Median > 160 {
+		t.Fatalf("median RTT %v outside King-like range [30,160]", s.Median)
+	}
+	if s.Max < 2*s.Median {
+		t.Fatalf("no heavy tail: max %v median %v", s.Max, s.Median)
+	}
+	tiv := m.TIVFraction(200000)
+	if tiv <= 0.005 || tiv > 0.35 {
+		t.Fatalf("TIV fraction %v outside plausible Internet range", tiv)
+	}
+}
+
+func TestGenerateKingLikeSymmetryProperty(t *testing.T) {
+	m := GenerateKingLike(DefaultKingLike(40), 3)
+	f := func(a, b uint8) bool {
+		i, j := int(a)%40, int(b)%40
+		return m.RTT(i, j) == m.RTT(j, i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomSubgroup(t *testing.T) {
+	m := GenerateKingLike(DefaultKingLike(50), 2)
+	sub, nodes := RandomSubgroup(m, 10, 7)
+	if sub.Size() != 10 || len(nodes) != 10 {
+		t.Fatalf("subgroup size %d/%d", sub.Size(), len(nodes))
+	}
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			if sub.RTT(a, b) != m.RTT(nodes[a], nodes[b]) {
+				t.Fatal("subgroup RTTs do not match parent")
+			}
+		}
+	}
+	// Deterministic per seed.
+	_, nodes2 := RandomSubgroup(m, 10, 7)
+	for i := range nodes {
+		if nodes[i] != nodes2[i] {
+			t.Fatal("subgroup selection not deterministic")
+		}
+	}
+}
+
+func TestRandomSubgroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewMatrix(3)
+	RandomSubgroup(m, 4, 1)
+}
+
+func TestGenerateKingLikePanicsTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GenerateKingLike(DefaultKingLike(1), 1)
+}

@@ -1,0 +1,303 @@
+// Package latency models the Internet delay substrate the coordinate
+// systems embed: a symmetric matrix of pairwise round-trip times.
+//
+// The paper drives every experiment from the King dataset (measured RTTs
+// between 1740 DNS servers). That dataset is not shipped here; instead the
+// package provides GenerateKingLike, a synthetic generator that reproduces
+// the properties the attacks depend on — clustered structure, heavy-tailed
+// access delays, jitter and a controlled fraction of triangle-inequality
+// violations — plus Load/Save functions so a real matrix can be substituted
+// when available.
+//
+// All RTTs are float64 milliseconds.
+package latency
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Matrix is a symmetric matrix of pairwise RTTs in milliseconds. The
+// diagonal is zero. Matrices are immutable after construction by
+// convention: simulations share them freely across repetitions.
+type Matrix struct {
+	n    int
+	rtts []float64 // row-major n*n
+}
+
+// NewMatrix returns an n-node matrix with all off-diagonal RTTs zero.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic("latency: non-positive matrix size")
+	}
+	return &Matrix{n: n, rtts: make([]float64, n*n)}
+}
+
+// Size returns the number of nodes.
+func (m *Matrix) Size() int { return m.n }
+
+// RTT returns the round-trip time between nodes i and j in milliseconds.
+func (m *Matrix) RTT(i, j int) float64 { return m.rtts[i*m.n+j] }
+
+// Set sets the RTT between i and j (and j and i) to v milliseconds.
+// Negative values and non-finite values panic; they indicate generator or
+// loader bugs and would silently corrupt every experiment downstream.
+func (m *Matrix) Set(i, j int, v float64) {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("latency: invalid RTT %v for (%d,%d)", v, i, j))
+	}
+	if i == j {
+		return
+	}
+	m.rtts[i*m.n+j] = v
+	m.rtts[j*m.n+i] = v
+}
+
+// Submatrix returns a new matrix restricted to the given node indices, in
+// order. The result's node k corresponds to nodes[k] in the parent.
+func (m *Matrix) Submatrix(nodes []int) *Matrix {
+	sub := NewMatrix(len(nodes))
+	for a, i := range nodes {
+		for b, j := range nodes {
+			if a < b {
+				sub.Set(a, b, m.RTT(i, j))
+			}
+		}
+	}
+	return sub
+}
+
+// Stats summarises the off-diagonal RTT distribution of a matrix.
+type Stats struct {
+	N      int     // nodes
+	Pairs  int     // distinct pairs
+	Min    float64 // ms
+	Median float64
+	Mean   float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// Stats computes distribution statistics over all distinct pairs.
+func (m *Matrix) Stats() Stats {
+	vals := make([]float64, 0, m.n*(m.n-1)/2)
+	sum := 0.0
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			v := m.RTT(i, j)
+			vals = append(vals, v)
+			sum += v
+		}
+	}
+	sort.Float64s(vals)
+	q := func(p float64) float64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(vals)-1))
+		return vals[idx]
+	}
+	s := Stats{N: m.n, Pairs: len(vals)}
+	if len(vals) > 0 {
+		s.Min = vals[0]
+		s.Max = vals[len(vals)-1]
+		s.Median = q(0.5)
+		s.P90 = q(0.9)
+		s.P99 = q(0.99)
+		s.Mean = sum / float64(len(vals))
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d pairs=%d min=%.1fms median=%.1fms mean=%.1fms p90=%.1fms p99=%.1fms max=%.1fms",
+		s.N, s.Pairs, s.Min, s.Median, s.Mean, s.P90, s.P99, s.Max)
+}
+
+// TIVFraction estimates the fraction of node triangles (i,j,k) that violate
+// the triangle inequality, i.e. RTT(i,k) > RTT(i,j)+RTT(j,k) for some
+// labelling. It examines up to maxTriangles deterministically-strided
+// triangles (all of them if the matrix is small enough).
+func (m *Matrix) TIVFraction(maxTriangles int) float64 {
+	if m.n < 3 {
+		return 0
+	}
+	total, violated := 0, 0
+	// Deterministic stride over the triangle space keeps this cheap and
+	// reproducible without a RNG.
+	stride := 1
+	full := m.n * (m.n - 1) * (m.n - 2) / 6
+	if maxTriangles > 0 && full > maxTriangles {
+		stride = full/maxTriangles + 1
+	}
+	idx := 0
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			for k := j + 1; k < m.n; k++ {
+				if idx%stride == 0 {
+					total++
+					ab, bc, ac := m.RTT(i, j), m.RTT(j, k), m.RTT(i, k)
+					longest := math.Max(ac, math.Max(ab, bc))
+					if 2*longest > ab+bc+ac {
+						violated++
+					}
+				}
+				idx++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(violated) / float64(total)
+}
+
+// Save writes the matrix in the package's text format: a header line
+// "rttmatrix <n>" followed by n rows of n space-separated millisecond
+// values with three decimals.
+func (m *Matrix) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "rttmatrix %d\n", m.n); err != nil {
+		return err
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%.3f", m.RTT(i, j)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a matrix in either the package's "rttmatrix <n>" format or a
+// triple format of lines "i j rtt_ms" (0-based indices; symmetric entries
+// may appear once). It validates symmetry and non-negativity.
+func Load(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("latency: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("latency: empty input")
+	}
+	first := strings.Fields(sc.Text())
+	if len(first) == 2 && first[0] == "rttmatrix" {
+		n, err := strconv.Atoi(first[1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("latency: bad matrix size %q", first[1])
+		}
+		return loadDense(sc, n)
+	}
+	return loadTriples(sc, first)
+}
+
+func loadDense(sc *bufio.Scanner, n int) (*Matrix, error) {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("latency: matrix truncated at row %d", i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != n {
+			return nil, fmt.Errorf("latency: row %d has %d values, want %d", i, len(fields), n)
+		}
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("latency: row %d col %d: %w", i, j, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("latency: negative RTT %v at (%d,%d)", v, i, j)
+			}
+			m.rtts[i*n+j] = v
+		}
+	}
+	// Enforce symmetry: tolerate tiny asymmetries from formatting, reject
+	// real ones.
+	for i := 0; i < n; i++ {
+		m.rtts[i*n+i] = 0
+		for j := i + 1; j < n; j++ {
+			a, b := m.rtts[i*n+j], m.rtts[j*n+i]
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+				return nil, fmt.Errorf("latency: asymmetric RTT at (%d,%d): %v vs %v", i, j, a, b)
+			}
+			m.Set(i, j, a)
+		}
+	}
+	return m, nil
+}
+
+func loadTriples(sc *bufio.Scanner, first []string) (*Matrix, error) {
+	type triple struct {
+		i, j int
+		v    float64
+	}
+	var triples []triple
+	maxIdx := -1
+	parse := func(fields []string) error {
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			return nil
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf("latency: want 'i j rtt', got %q", strings.Join(fields, " "))
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("latency: bad index %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("latency: bad index %q", fields[1])
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("latency: bad RTT %q", fields[2])
+		}
+		if i < 0 || j < 0 {
+			return fmt.Errorf("latency: negative index in %v", fields)
+		}
+		if i > maxIdx {
+			maxIdx = i
+		}
+		if j > maxIdx {
+			maxIdx = j
+		}
+		triples = append(triples, triple{i, j, v})
+		return nil
+	}
+	if err := parse(first); err != nil {
+		return nil, err
+	}
+	for sc.Scan() {
+		if err := parse(strings.Fields(sc.Text())); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxIdx < 1 {
+		return nil, fmt.Errorf("latency: no pairs in input")
+	}
+	m := NewMatrix(maxIdx + 1)
+	for _, t := range triples {
+		m.Set(t.i, t.j, t.v)
+	}
+	return m, nil
+}

@@ -1,0 +1,290 @@
+// Package metrics implements the paper's performance indicators (§5.1):
+// the relative error of distance prediction, the system-wide average over
+// honest nodes, the relative error ratio against a clean reference run, the
+// random-coordinate worst-case baseline, CDFs, and the convergence rule
+// used to decide when a system has stabilized.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/coordspace"
+	"repro/internal/latency"
+	"repro/internal/randx"
+)
+
+// RelativeError is the paper's §3.1 definition:
+// |actual − predicted| / min(actual, predicted).
+// Degenerate actual/predicted values (≤0) fall back to dividing by the
+// larger of the two so the result stays finite and large rather than NaN.
+func RelativeError(actual, predicted float64) float64 {
+	diff := math.Abs(actual - predicted)
+	den := math.Min(actual, predicted)
+	if den <= 0 {
+		den = math.Max(actual, predicted)
+		if den <= 0 {
+			return 0
+		}
+	}
+	return diff / den
+}
+
+// SampleError is Vivaldi's per-sample error (§3.2):
+// |‖xi−xj‖ − rtt| / rtt.
+func SampleError(rtt, predicted float64) float64 {
+	if rtt <= 0 {
+		return 0
+	}
+	return math.Abs(predicted-rtt) / rtt
+}
+
+// PeerSets assigns every node a fixed set of k distinct evaluation peers,
+// drawn deterministically from seed. Evaluating prediction error against a
+// fixed peer sample (rather than all ~1.5M pairs) is what makes per-tick
+// measurement affordable; k=0 means "all other nodes".
+func PeerSets(n, k int, seed int64) [][]int {
+	peers := make([][]int, n)
+	if k <= 0 || k >= n-1 {
+		for i := range peers {
+			all := make([]int, 0, n-1)
+			for j := 0; j < n; j++ {
+				if j != i {
+					all = append(all, j)
+				}
+			}
+			peers[i] = all
+		}
+		return peers
+	}
+	for i := range peers {
+		rng := randx.NewDerived(seed, "peers", i)
+		set := make([]int, 0, k)
+		for _, j := range randx.Sample(rng, n-1, k) {
+			if j >= i { // skip self by re-indexing
+				j++
+			}
+			set = append(set, j)
+		}
+		peers[i] = set
+	}
+	return peers
+}
+
+// NodeErrors computes, for every node with include(i) true, the average
+// relative error of its distance predictions to its evaluation peers.
+// Nodes with include(i) false get NaN (they are excluded from aggregates).
+func NodeErrors(m *latency.Matrix, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool) []float64 {
+	out := make([]float64, len(coords))
+	for i := range out {
+		if include != nil && !include(i) {
+			out[i] = math.NaN()
+			continue
+		}
+		sum, cnt := 0.0, 0
+		for _, j := range peers[i] {
+			actual := m.RTT(i, j)
+			if actual <= 0 {
+				continue
+			}
+			pred := space.Dist(coords[i], coords[j])
+			sum += RelativeError(actual, pred)
+			cnt++
+		}
+		if cnt == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sum / float64(cnt)
+	}
+	return out
+}
+
+// Mean returns the mean of the non-NaN values.
+func Mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Median returns the median of the non-NaN values.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 0.5)
+}
+
+// Percentile returns the p-quantile (0≤p≤1) of the non-NaN values using
+// nearest-rank on the sorted data.
+func Percentile(xs []float64, p float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	if p <= 0 {
+		return clean[0]
+	}
+	if p >= 1 {
+		return clean[len(clean)-1]
+	}
+	idx := int(p * float64(len(clean)-1))
+	return clean[idx]
+}
+
+// Ratio is the paper's relative error ratio: error / errorRef. Values
+// above 1 indicate degradation versus the clean system.
+func Ratio(err, errRef float64) float64 {
+	if errRef <= 0 {
+		return math.NaN()
+	}
+	return err / errRef
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from the non-NaN values of xs.
+func NewCDF(xs []float64) CDF {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	sort.Float64s(clean)
+	return CDF{sorted: clean}
+}
+
+// N returns the sample size.
+func (c CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the value at cumulative fraction p.
+func (c CDF) Quantile(p float64) float64 {
+	return Percentile(c.sorted, p)
+}
+
+// Points samples the CDF at n evenly spaced cumulative fractions,
+// returning (value, fraction) pairs suitable for plotting a figure.
+func (c CDF) Points(n int) [][2]float64 {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	pts := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		pts[i] = [2]float64{c.Quantile(p), p}
+	}
+	return pts
+}
+
+// RandomBaseline computes the average relative error of the paper's
+// worst-case scenario: every node chooses its coordinate uniformly at
+// random with components in [-scale, scale] (§5.1, scale 50000).
+func RandomBaseline(m *latency.Matrix, space coordspace.Space, peers [][]int, scale float64, seed int64) float64 {
+	rng := randx.NewDerived(seed, "randombaseline", 0)
+	coords := make([]coordspace.Coord, m.Size())
+	for i := range coords {
+		coords[i] = space.Random(rng, scale)
+	}
+	return Mean(NodeErrors(m, space, coords, peers, nil))
+}
+
+// ConvergenceDetector implements §5.2's stabilization rule: the system has
+// converged once the tracked value has varied by at most Window across the
+// last Ticks observations.
+type ConvergenceDetector struct {
+	Window float64 // max allowed variation (paper: 0.02)
+	Ticks  int     // number of consecutive observations (paper: 10)
+	recent []float64
+}
+
+// NewConvergenceDetector returns a detector with the paper's parameters.
+func NewConvergenceDetector() *ConvergenceDetector {
+	return &ConvergenceDetector{Window: 0.02, Ticks: 10}
+}
+
+// Observe records a value and reports whether the convergence criterion is
+// now satisfied.
+func (d *ConvergenceDetector) Observe(v float64) bool {
+	d.recent = append(d.recent, v)
+	if len(d.recent) > d.Ticks {
+		d.recent = d.recent[len(d.recent)-d.Ticks:]
+	}
+	return d.Converged()
+}
+
+// Converged reports whether the last Ticks observations vary by at most
+// Window.
+func (d *ConvergenceDetector) Converged() bool {
+	if len(d.recent) < d.Ticks {
+		return false
+	}
+	lo, hi := d.recent[0], d.recent[0]
+	for _, v := range d.recent[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi-lo <= d.Window
+}
+
+// Reset clears the observation history.
+func (d *ConvergenceDetector) Reset() { d.recent = d.recent[:0] }
+
+// Series is a time series of (tick, value) observations.
+type Series struct {
+	Name   string
+	Ticks  []int
+	Values []float64
+}
+
+// Add appends an observation.
+func (s *Series) Add(tick int, v float64) {
+	s.Ticks = append(s.Ticks, tick)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Ticks) }
+
+// Last returns the most recent value, or NaN if empty.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// TailMean returns the mean of the last k observations (fewer if the series
+// is shorter). Experiments use it as the "long after the attack" value.
+func (s *Series) TailMean(k int) float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	if k > len(s.Values) {
+		k = len(s.Values)
+	}
+	return Mean(s.Values[len(s.Values)-k:])
+}

@@ -1,0 +1,285 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coordspace"
+	"repro/internal/latency"
+)
+
+func TestRelativeErrorDefinition(t *testing.T) {
+	// |actual-predicted| / min(actual, predicted)
+	if got := RelativeError(100, 50); got != 1 {
+		t.Fatalf("got %v, want 1", got)
+	}
+	if got := RelativeError(50, 100); got != 1 {
+		t.Fatalf("got %v, want 1", got)
+	}
+	if got := RelativeError(100, 100); got != 0 {
+		t.Fatalf("got %v, want 0", got)
+	}
+	if got := RelativeError(0, 10); got != 1 {
+		t.Fatalf("degenerate actual: got %v, want 1", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Fatalf("both zero: got %v, want 0", got)
+	}
+}
+
+func TestRelativeErrorSymmetryProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+0.001, math.Abs(b)+0.001
+		return math.Abs(RelativeError(a, b)-RelativeError(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleError(t *testing.T) {
+	if got := SampleError(100, 150); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("got %v, want 0.5", got)
+	}
+	if got := SampleError(0, 5); got != 0 {
+		t.Fatalf("rtt=0: got %v", got)
+	}
+}
+
+func TestPeerSetsAllPairs(t *testing.T) {
+	peers := PeerSets(4, 0, 1)
+	for i, set := range peers {
+		if len(set) != 3 {
+			t.Fatalf("node %d peer count %d", i, len(set))
+		}
+		for _, j := range set {
+			if j == i {
+				t.Fatalf("node %d includes itself", i)
+			}
+		}
+	}
+}
+
+func TestPeerSetsSampled(t *testing.T) {
+	peers := PeerSets(100, 10, 42)
+	for i, set := range peers {
+		if len(set) != 10 {
+			t.Fatalf("node %d has %d peers", i, len(set))
+		}
+		seen := map[int]bool{}
+		for _, j := range set {
+			if j == i || j < 0 || j >= 100 {
+				t.Fatalf("node %d has invalid peer %d", i, j)
+			}
+			if seen[j] {
+				t.Fatalf("node %d has duplicate peer %d", i, j)
+			}
+			seen[j] = true
+		}
+	}
+	// Deterministic.
+	again := PeerSets(100, 10, 42)
+	for i := range peers {
+		for k := range peers[i] {
+			if peers[i][k] != again[i][k] {
+				t.Fatal("PeerSets not deterministic")
+			}
+		}
+	}
+}
+
+func TestNodeErrorsPerfectEmbedding(t *testing.T) {
+	// Nodes on a line embed exactly in 1-D: errors must be ~0.
+	n := 5
+	m := latency.NewMatrix(n)
+	pos := []float64{0, 10, 25, 40, 80}
+	space := coordspace.Euclidean(1)
+	coords := make([]coordspace.Coord, n)
+	for i := 0; i < n; i++ {
+		coords[i] = coordspace.Coord{V: []float64{pos[i]}}
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, math.Abs(pos[i]-pos[j]))
+		}
+	}
+	errs := NodeErrors(m, space, coords, PeerSets(n, 0, 1), nil)
+	for i, e := range errs {
+		if e > 1e-9 {
+			t.Fatalf("node %d error %v in perfect embedding", i, e)
+		}
+	}
+}
+
+func TestNodeErrorsExcludes(t *testing.T) {
+	n := 3
+	m := latency.NewMatrix(n)
+	m.Set(0, 1, 10)
+	m.Set(0, 2, 10)
+	m.Set(1, 2, 10)
+	space := coordspace.Euclidean(2)
+	coords := make([]coordspace.Coord, n)
+	for i := range coords {
+		coords[i] = space.Zero()
+	}
+	errs := NodeErrors(m, space, coords, PeerSets(n, 0, 1), func(i int) bool { return i != 1 })
+	if !math.IsNaN(errs[1]) {
+		t.Fatalf("excluded node error %v, want NaN", errs[1])
+	}
+	if math.IsNaN(errs[0]) || math.IsNaN(errs[2]) {
+		t.Fatal("included nodes got NaN")
+	}
+}
+
+func TestMeanIgnoresNaN(t *testing.T) {
+	if got := Mean([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Fatalf("mean %v, want 2", got)
+	}
+	if !math.IsNaN(Mean([]float64{math.NaN()})) {
+		t.Fatal("all-NaN mean should be NaN")
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if Median(xs) != 3 {
+		t.Fatalf("median %v", Median(xs))
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Fatal("percentile extremes wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(2, 1) != 2 {
+		t.Fatal("ratio")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("ratio with zero reference should be NaN")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.N() != 4 {
+		t.Fatalf("N %d", c.N())
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2)=%v, want 0.5", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5)=%v, want 0", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Fatalf("At(4)=%v, want 1", got)
+	}
+	if got := c.At(3.5); got != 0.75 {
+		t.Fatalf("At(3.5)=%v, want 0.75", got)
+	}
+}
+
+func TestCDFIgnoresNaN(t *testing.T) {
+	c := NewCDF([]float64{1, math.NaN(), 2})
+	if c.N() != 2 {
+		t.Fatalf("N %d, want 2", c.N())
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	f := func(a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[0][1] != 0 || pts[4][1] != 1 {
+		t.Fatal("point fractions wrong")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] {
+			t.Fatal("CDF points not monotone in value")
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if q := c.Quantile(0.5); q != 30 {
+		t.Fatalf("quantile %v", q)
+	}
+}
+
+func TestRandomBaselineIsLarge(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(60), 3)
+	space := coordspace.Euclidean(2)
+	peers := PeerSets(60, 0, 1)
+	base := RandomBaseline(m, space, peers, 50000, 9)
+	// Random coordinates at scale 50000 against ~100ms RTTs: enormous error.
+	if base < 10 {
+		t.Fatalf("random baseline %v suspiciously small", base)
+	}
+}
+
+func TestConvergenceDetector(t *testing.T) {
+	d := NewConvergenceDetector()
+	for i := 0; i < 9; i++ {
+		if d.Observe(0.5) {
+			t.Fatalf("converged after %d observations", i+1)
+		}
+	}
+	if !d.Observe(0.5) {
+		t.Fatal("not converged after 10 stable observations")
+	}
+	d.Reset()
+	if d.Converged() {
+		t.Fatal("converged after reset")
+	}
+	// A jump wider than the window must break convergence.
+	for i := 0; i < 10; i++ {
+		d.Observe(0.5)
+	}
+	if d.Observe(0.6) {
+		t.Fatal("converged despite 0.1 jump")
+	}
+}
+
+func TestConvergenceWithinWindow(t *testing.T) {
+	d := NewConvergenceDetector()
+	vals := []float64{0.50, 0.51, 0.505, 0.515, 0.50, 0.51, 0.515, 0.505, 0.51, 0.515}
+	conv := false
+	for _, v := range vals {
+		conv = d.Observe(v)
+	}
+	if !conv {
+		t.Fatal("variation within 0.02 should converge")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 0.5)
+	s.Add(2, 0.7)
+	s.Add(3, 0.9)
+	if s.Len() != 3 || s.Last() != 0.9 {
+		t.Fatalf("series %+v", s)
+	}
+	if got := s.TailMean(2); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("tail mean %v", got)
+	}
+	if got := s.TailMean(10); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("tail mean over length %v", got)
+	}
+	var empty Series
+	if !math.IsNaN(empty.Last()) || !math.IsNaN(empty.TailMean(3)) {
+		t.Fatal("empty series should yield NaN")
+	}
+}

@@ -1,0 +1,549 @@
+// Package nps implements the Network Positioning System (Ng & Zhang,
+// USENIX 2004) as described in §3.1 of the paper under reproduction: a
+// hierarchical version of GNP in which 20 permanent landmarks anchor
+// layer 0 and every node in layer i positions itself against reference
+// points drawn from layer i−1, running the Simplex Downhill minimization
+// locally.
+//
+// The package includes NPS's malicious-reference-point countermeasures,
+// which the paper attacks directly:
+//
+//   - the security filter: after positioning, the reference point with the
+//     largest fitting error ER is discarded iff max ER > 0.01 and
+//     max ER > C·median(ER), with C = 4 — at most one per positioning;
+//   - the probe threshold: measurements above 5 s are considered
+//     suspicious and discarded.
+//
+// Landmarks are assumed honest and immovable (§5.4: "the ideal,
+// hypothetical case where the landmarks are highly secure machines").
+package nps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/coordspace"
+	"repro/internal/gnp"
+	"repro/internal/latency"
+	"repro/internal/randx"
+)
+
+// Config parameterises an NPS deployment. Zero fields take the paper's
+// values (§5.2) via withDefaults.
+type Config struct {
+	Space coordspace.Space // default 8-D Euclidean; height models unsupported
+
+	// Layers is the total number of layers including layer 0 (the
+	// landmarks). The paper experiments with 3 and 4.
+	Layers int
+
+	// NumLandmarks is the size of the fixed layer-0 infrastructure (20).
+	NumLandmarks int
+
+	// RefLayerFraction is the fraction of ordinary nodes assigned to each
+	// intermediate (reference-point) layer (paper: 20%).
+	RefLayerFraction float64
+
+	// RefsPerNode is how many reference points each node measures against
+	// (default 20, mirroring the landmark count).
+	RefsPerNode int
+
+	// Security toggles the malicious reference point detection mechanism.
+	Security bool
+
+	// SecurityC is the sensitivity constant C (paper: 4).
+	SecurityC float64
+
+	// FilterAll is an ablation knob: filter *every* reference point whose
+	// fitting error satisfies the criterion instead of only the worst one
+	// per positioning. The paper observes that "at most one reference
+	// point gets filtered per positioning" hands colluders repeated
+	// reprieves (§5.4.2); this measures what closing that loophole buys.
+	FilterAll bool
+
+	// MinFitError is the absolute fitting-error trigger (paper: 0.01).
+	MinFitError float64
+
+	// ProbeThresholdMS discards any probe whose measured RTT exceeds it
+	// (paper: 5000 ms). Zero or negative disables the check.
+	ProbeThresholdMS float64
+
+	// SolveIterations caps the Simplex Downhill iterations per positioning
+	// (performance knob; positioning warm-starts from the previous
+	// estimate so modest caps converge fine).
+	SolveIterations int
+
+	// RelativeObjective switches host positioning to GNP's squared
+	// *relative* error objective instead of the absolute one. The default
+	// (absolute) matches the dynamics of the NPS reference implementation
+	// the paper attacks — delay-inflated measurements exert absolute
+	// pulls, which is why the probe threshold exists. The relative
+	// objective is kept as an ablation: it intrinsically discounts
+	// far-away lies (see BenchmarkAblationRelativeObjective).
+	RelativeObjective bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Space.Dims == 0 {
+		c.Space = coordspace.Euclidean(8)
+	}
+	if c.Space.HasHeight {
+		panic("nps: height-augmented spaces are not part of NPS")
+	}
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if c.Layers < 2 {
+		panic("nps: need at least 2 layers (landmarks + hosts)")
+	}
+	if c.NumLandmarks == 0 {
+		c.NumLandmarks = 20
+	}
+	if c.RefLayerFraction == 0 {
+		c.RefLayerFraction = 0.20
+	}
+	if c.RefsPerNode == 0 {
+		c.RefsPerNode = 20
+	}
+	if c.SecurityC == 0 {
+		c.SecurityC = 4
+	}
+	if c.MinFitError == 0 {
+		c.MinFitError = 0.01
+	}
+	if c.SolveIterations == 0 {
+		c.SolveIterations = 100 * c.Space.Dims
+	}
+	return c
+}
+
+// ProbeReply is what a positioning node learns from one reference point:
+// the reference point's reported coordinate and the RTT the node measured
+// (which a malicious reference may inflate by delaying, never shorten).
+type ProbeReply struct {
+	Coord coordspace.Coord
+	RTT   float64 // milliseconds
+}
+
+// Tap is the interception hook installed on malicious nodes. When `victim`
+// probes the tap's owner during positioning, Respond receives the honest
+// reply and returns the forged one.
+type Tap interface {
+	Respond(victim int, honest ProbeReply, view View) ProbeReply
+}
+
+// View is the read-only system state available to taps.
+type View interface {
+	Space() coordspace.Space
+	Coord(i int) coordspace.Coord
+	Positioned(i int) bool
+	TrueRTT(i, j int) float64
+	Layer(i int) int
+	IsReference(i int) bool
+	Round() int
+	Size() int
+}
+
+// FilterStats counts security-filter decisions, for the paper's
+// filtered-malicious ratio figures (fig. 20/22).
+type FilterStats struct {
+	Total     int // reference points filtered
+	Malicious int // of which had a tap installed
+}
+
+// Ratio returns Malicious/Total, or 0 when nothing was filtered.
+func (f FilterStats) Ratio() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Malicious) / float64(f.Total)
+}
+
+// System is an NPS deployment over a latency matrix.
+type System struct {
+	cfg        Config
+	m          *latency.Matrix
+	layerOf    []int
+	landmarks  []int
+	coords     []coordspace.Coord
+	positioned []bool
+	refs       [][]int        // current reference set per node
+	banned     []map[int]bool // per-node refs removed by the security filter
+	taps       []Tap
+	rngs       []*rand.Rand
+	round      int
+	stats      FilterStats
+	byLayer    [][]int // node ids per layer
+}
+
+var _ View = (*System)(nil)
+
+// NewSystem builds an NPS deployment: landmark selection and embedding,
+// layer assignment, and initial reference point assignment, all
+// deterministic from seed. Nodes are unpositioned until the first Step.
+func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
+	cfg = cfg.withDefaults()
+	n := m.Size()
+	if cfg.NumLandmarks >= n {
+		panic(fmt.Sprintf("nps: %d landmarks but only %d nodes", cfg.NumLandmarks, n))
+	}
+	s := &System{
+		cfg:        cfg,
+		m:          m,
+		layerOf:    make([]int, n),
+		coords:     make([]coordspace.Coord, n),
+		positioned: make([]bool, n),
+		refs:       make([][]int, n),
+		banned:     make([]map[int]bool, n),
+		taps:       make([]Tap, n),
+		rngs:       make([]*rand.Rand, n),
+		byLayer:    make([][]int, cfg.Layers),
+	}
+	for i := 0; i < n; i++ {
+		s.rngs[i] = randx.NewDerived(seed, "nps-node", i)
+		s.banned[i] = make(map[int]bool)
+		s.coords[i] = cfg.Space.Zero()
+	}
+
+	// Layer 0: well separated permanent landmarks, embedded once.
+	s.landmarks = gnp.SelectLandmarks(m, cfg.NumLandmarks)
+	lmCoords := gnp.SolveLandmarks(m, s.landmarks, cfg.Space, randx.DeriveSeed(seed, "nps-landmarks", 0))
+	isLandmark := make(map[int]bool, len(s.landmarks))
+	for k, id := range s.landmarks {
+		isLandmark[id] = true
+		s.coords[id] = lmCoords[k]
+		s.positioned[id] = true
+		s.layerOf[id] = 0
+	}
+	s.byLayer[0] = append([]int(nil), s.landmarks...)
+
+	// Ordinary nodes: shuffle, then fill intermediate layers with
+	// RefLayerFraction of them each; the remainder forms the last layer.
+	ordinary := make([]int, 0, n-len(s.landmarks))
+	for i := 0; i < n; i++ {
+		if !isLandmark[i] {
+			ordinary = append(ordinary, i)
+		}
+	}
+	layerRng := randx.NewDerived(seed, "nps-layers", 0)
+	layerRng.Shuffle(len(ordinary), func(a, b int) { ordinary[a], ordinary[b] = ordinary[b], ordinary[a] })
+	perRefLayer := int(cfg.RefLayerFraction * float64(len(ordinary)))
+	if perRefLayer < 1 {
+		perRefLayer = 1
+	}
+	pos := 0
+	for layer := 1; layer < cfg.Layers-1; layer++ {
+		for k := 0; k < perRefLayer && pos < len(ordinary); k++ {
+			id := ordinary[pos]
+			pos++
+			s.layerOf[id] = layer
+			s.byLayer[layer] = append(s.byLayer[layer], id)
+		}
+	}
+	for ; pos < len(ordinary); pos++ {
+		id := ordinary[pos]
+		s.layerOf[id] = cfg.Layers - 1
+		s.byLayer[cfg.Layers-1] = append(s.byLayer[cfg.Layers-1], id)
+	}
+
+	for i := 0; i < n; i++ {
+		if !isLandmark[i] {
+			s.assignRefs(i)
+		}
+	}
+	return s
+}
+
+// assignRefs (re)builds node i's reference set: RefsPerNode members of the
+// layer above, excluding banned ones (falling back to banned members only
+// if the pool would otherwise be empty).
+func (s *System) assignRefs(i int) {
+	pool := s.byLayer[s.layerOf[i]-1]
+	eligible := make([]int, 0, len(pool))
+	for _, r := range pool {
+		if !s.banned[i][r] && r != i {
+			eligible = append(eligible, r)
+		}
+	}
+	if len(eligible) < s.cfg.Space.Dims+1 {
+		// Too few unbanned references to position against: amnesty.
+		for r := range s.banned[i] {
+			delete(s.banned[i], r)
+		}
+		eligible = eligible[:0]
+		for _, r := range pool {
+			if r != i {
+				eligible = append(eligible, r)
+			}
+		}
+	}
+	k := s.cfg.RefsPerNode
+	if k >= len(eligible) {
+		s.refs[i] = append([]int(nil), eligible...)
+		return
+	}
+	picked := randx.Sample(s.rngs[i], len(eligible), k)
+	set := make([]int, k)
+	for idx, e := range picked {
+		set[idx] = eligible[e]
+	}
+	s.refs[i] = set
+}
+
+// replaceRef swaps banned reference r out of node i's set for a fresh
+// member of the pool, if one is available.
+func (s *System) replaceRef(i, r int) {
+	pool := s.byLayer[s.layerOf[i]-1]
+	inSet := make(map[int]bool, len(s.refs[i]))
+	for _, x := range s.refs[i] {
+		inSet[x] = true
+	}
+	candidates := make([]int, 0, len(pool))
+	for _, x := range pool {
+		if x != i && !inSet[x] && !s.banned[i][x] {
+			candidates = append(candidates, x)
+		}
+	}
+	for idx, x := range s.refs[i] {
+		if x != r {
+			continue
+		}
+		if len(candidates) > 0 {
+			s.refs[i][idx] = candidates[s.rngs[i].Intn(len(candidates))]
+		} else {
+			// No replacement available: drop it.
+			s.refs[i] = append(s.refs[i][:idx], s.refs[i][idx+1:]...)
+		}
+		return
+	}
+}
+
+// Probe measures reference r from node i and returns what i observed,
+// passing through r's tap if present. Taps can only increase the RTT.
+func (s *System) Probe(i, r int) ProbeReply {
+	honest := ProbeReply{Coord: s.coords[r].Clone(), RTT: s.m.RTT(i, r)}
+	if tap := s.taps[r]; tap != nil {
+		forged := tap.Respond(i, honest, s)
+		if forged.RTT < honest.RTT {
+			forged.RTT = honest.RTT
+		}
+		return forged
+	}
+	return honest
+}
+
+// positionNode runs one positioning for node i: probe every current
+// reference, discard over-threshold probes, apply the security filter,
+// then solve with the surviving references.
+//
+// The filter evaluates each reference's fitting error against the node's
+// *current* position estimate — the position computed from the previous
+// round's references, which is exactly "the position computed based on
+// these reference points" once the system iterates (§3.1). Screening
+// before the solve is what gives the filter its power and its failure
+// mode: a converged node spots a reference whose claimed distance is
+// inconsistent with where the node knows it sits, but once enough
+// references lie, the median fitting error itself is poisoned and the
+// criterion goes blind (the paper's ~40% breaking point, fig. 14).
+func (s *System) positionNode(i int) {
+	type sample struct {
+		ref   int
+		coord coordspace.Coord
+		rtt   float64
+	}
+	samples := make([]sample, 0, len(s.refs[i]))
+	for _, r := range s.refs[i] {
+		if !s.positioned[r] {
+			continue
+		}
+		reply := s.Probe(i, r)
+		if s.cfg.ProbeThresholdMS > 0 && reply.RTT > s.cfg.ProbeThresholdMS {
+			continue // suspicious probe, discarded (§5.4.2)
+		}
+		if reply.RTT <= 0 || !s.cfg.Space.Compatible(reply.Coord) {
+			continue
+		}
+		samples = append(samples, sample{r, reply.Coord, reply.RTT})
+	}
+	if len(samples) < s.cfg.Space.Dims/2+2 {
+		return // not enough usable references this round
+	}
+
+	// Security filter (skipped until the node has a position to check
+	// against): fitting error per reference at the current estimate.
+	// Every reference exceeding both the absolute trigger and C x the
+	// median is *screened out of this round's solve* — a node does not
+	// knowingly fit against inconsistent measurements — but only the
+	// worst one is permanently eliminated and replaced ("H decides
+	// whether to eliminate the reference point with the largest ER",
+	// §3.1; the one-elimination rule is what hands colluders their
+	// reprieves). The FilterAll ablation eliminates all of them.
+	if s.cfg.Security && s.positioned[i] {
+		fits := make([]float64, len(samples))
+		worst, worstIdx := -1.0, -1
+		for k, sm := range samples {
+			fits[k] = gnp.FitError(s.cfg.Space, s.coords[i], sm.coord, sm.rtt)
+			if fits[k] > worst {
+				worst, worstIdx = fits[k], k
+			}
+		}
+		med := medianOf(fits)
+		exceeds := func(fit float64) bool {
+			return fit > s.cfg.MinFitError && fit > s.cfg.SecurityC*med
+		}
+		eliminate := func(ref int) {
+			s.banned[i][ref] = true
+			s.stats.Total++
+			if s.taps[ref] != nil {
+				s.stats.Malicious++
+			}
+			s.replaceRef(i, ref)
+		}
+		if worstIdx >= 0 && exceeds(worst) {
+			if s.cfg.FilterAll {
+				for k, sm := range samples {
+					if exceeds(fits[k]) {
+						eliminate(sm.ref)
+					}
+				}
+			} else {
+				eliminate(samples[worstIdx].ref)
+			}
+			// Screen every flagged reference out of this round's solve.
+			kept := samples[:0]
+			for k, sm := range samples {
+				if !exceeds(fits[k]) {
+					kept = append(kept, sm)
+				}
+			}
+			samples = kept
+			if len(samples) < s.cfg.Space.Dims/2+2 {
+				return
+			}
+		}
+	}
+
+	anchors := make([]coordspace.Coord, len(samples))
+	rtts := make([]float64, len(samples))
+	for k, sm := range samples {
+		anchors[k] = sm.coord
+		rtts[k] = sm.rtt
+	}
+	position := gnp.PositionHostAbsolute
+	if s.cfg.RelativeObjective {
+		position = gnp.PositionHostIter
+	}
+	pos, _ := position(s.cfg.Space, anchors, rtts, s.coords[i], s.rngs[i], s.cfg.SolveIterations)
+	if !pos.IsValid() {
+		return
+	}
+	s.coords[i] = pos
+	s.positioned[i] = true
+}
+
+func medianOf(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Step runs one positioning round: every non-landmark node repositions
+// once, in layer order (references position before their dependents).
+// Malicious nodes still reposition — they must look like normal
+// participants — but their *reported* state is whatever their tap forges.
+func (s *System) Step() {
+	s.round++
+	for layer := 1; layer < s.cfg.Layers; layer++ {
+		for _, i := range s.byLayer[layer] {
+			s.positionNode(i)
+		}
+	}
+}
+
+// Run executes n positioning rounds.
+func (s *System) Run(n int) {
+	for k := 0; k < n; k++ {
+		s.Step()
+	}
+}
+
+// Accessors (most also satisfy View).
+
+// Space returns the embedding space.
+func (s *System) Space() coordspace.Space { return s.cfg.Space }
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Size returns the population size including landmarks.
+func (s *System) Size() int { return len(s.coords) }
+
+// Round returns the number of completed positioning rounds.
+func (s *System) Round() int { return s.round }
+
+// Coord returns a copy of node i's current coordinate.
+func (s *System) Coord(i int) coordspace.Coord { return s.coords[i].Clone() }
+
+// Coords returns copies of all coordinates.
+func (s *System) Coords() []coordspace.Coord {
+	out := make([]coordspace.Coord, len(s.coords))
+	for i := range out {
+		out[i] = s.coords[i].Clone()
+	}
+	return out
+}
+
+// Positioned reports whether node i has computed a position.
+func (s *System) Positioned(i int) bool { return s.positioned[i] }
+
+// TrueRTT returns the underlying matrix RTT.
+func (s *System) TrueRTT(i, j int) float64 { return s.m.RTT(i, j) }
+
+// Layer returns node i's layer (0 = landmark).
+func (s *System) Layer(i int) int { return s.layerOf[i] }
+
+// IsReference reports whether node i serves as a reference point for a
+// lower layer (landmarks included).
+func (s *System) IsReference(i int) bool { return s.layerOf[i] < s.cfg.Layers-1 }
+
+// IsLandmark reports whether node i is a layer-0 landmark.
+func (s *System) IsLandmark(i int) bool { return s.layerOf[i] == 0 }
+
+// Landmarks returns the landmark node ids (not a copy; do not mutate).
+func (s *System) Landmarks() []int { return s.landmarks }
+
+// NodesInLayer returns the node ids of a layer (not a copy; do not mutate).
+func (s *System) NodesInLayer(layer int) []int { return s.byLayer[layer] }
+
+// Refs returns node i's current reference set (not a copy; do not mutate).
+func (s *System) Refs(i int) []int { return s.refs[i] }
+
+// SetTap installs (or removes, with nil) a probe tap on node i. Landmarks
+// are assumed secure and cannot be tapped (§5.4).
+func (s *System) SetTap(i int, t Tap) {
+	if s.IsLandmark(i) && t != nil {
+		panic("nps: landmarks are assumed secure and cannot be malicious")
+	}
+	s.taps[i] = t
+}
+
+// IsMalicious reports whether node i has a tap installed.
+func (s *System) IsMalicious(i int) bool { return s.taps[i] != nil }
+
+// Stats returns the security filter counters accumulated so far.
+func (s *System) Stats() FilterStats { return s.stats }
+
+// ResetStats clears the filter counters (experiments call this at attack
+// injection time).
+func (s *System) ResetStats() { s.stats = FilterStats{} }
+
+// Matrix returns the underlying latency matrix.
+func (s *System) Matrix() *latency.Matrix { return s.m }

@@ -1,0 +1,202 @@
+package pic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coordspace"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+)
+
+func kingMatrix(n int, seed int64) *latency.Matrix {
+	return latency.GenerateKingLike(latency.DefaultKingLike(n), seed)
+}
+
+func TestBootstrapCliquePositioned(t *testing.T) {
+	m := kingMatrix(60, 1)
+	s := NewSystem(m, Config{Anchors: 8}, 3)
+	positioned := 0
+	for i := 0; i < s.Size(); i++ {
+		if s.Positioned(i) {
+			positioned++
+		}
+	}
+	if positioned != 9 { // Anchors + 1
+		t.Fatalf("bootstrap positioned %d nodes, want 9", positioned)
+	}
+}
+
+func TestEveryonePositionedAfterSteps(t *testing.T) {
+	m := kingMatrix(80, 2)
+	s := NewSystem(m, Config{Anchors: 8, SolveIterations: 300}, 3)
+	s.Run(2)
+	for i := 0; i < s.Size(); i++ {
+		if !s.Positioned(i) {
+			t.Fatalf("node %d never positioned", i)
+		}
+	}
+}
+
+func TestConvergenceAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding run")
+	}
+	m := kingMatrix(130, 3)
+	s := NewSystem(m, Config{SolveIterations: 400}, 5)
+	s.Run(6)
+	peers := metrics.PeerSets(m.Size(), 0, 1)
+	avg := metrics.Mean(metrics.NodeErrors(m, s.Space(), s.Coords(), peers, nil))
+	if avg > 0.8 {
+		t.Fatalf("PIC avg rel error %v after 6 rounds", avg)
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	m := kingMatrix(70, 4)
+	for _, strat := range []Strategy{StrategyHybrid, StrategyRandom, StrategyClosest} {
+		s := NewSystem(m, Config{Anchors: 10, Strategy: strat, SolveIterations: 200}, 5)
+		s.Run(2)
+		for i := 0; i < s.Size(); i++ {
+			if !s.Positioned(i) {
+				t.Fatalf("strategy %v: node %d unpositioned", strat, i)
+			}
+		}
+	}
+	if StrategyHybrid.String() != "hybrid" || StrategyRandom.String() != "random" ||
+		StrategyClosest.String() != "closest" || Strategy(99).String() != "unknown" {
+		t.Fatal("strategy names")
+	}
+}
+
+func TestClosestStrategyPicksNearby(t *testing.T) {
+	m := kingMatrix(90, 5)
+	s := NewSystem(m, Config{Anchors: 8, Strategy: StrategyClosest, SolveIterations: 200}, 6)
+	s.Run(1)
+	// For an arbitrary node, its anchors (reconstructed via pickAnchors)
+	// must be the nearest positioned hosts.
+	i := 0
+	anchors := s.pickAnchors(i)
+	maxAnchor := 0.0
+	for _, a := range anchors {
+		maxAnchor = math.Max(maxAnchor, m.RTT(i, a))
+	}
+	closerCount := 0
+	for j := 0; j < m.Size(); j++ {
+		if j != i && s.Positioned(j) && m.RTT(i, j) < maxAnchor {
+			closerCount++
+		}
+	}
+	if closerCount > len(anchors) {
+		t.Fatalf("closest strategy skipped %d closer hosts", closerCount-len(anchors))
+	}
+}
+
+type delayTap struct{ add float64 }
+
+func (d delayTap) Respond(victim int, honest ProbeReply, view View) ProbeReply {
+	honest.RTT += d.add
+	return honest
+}
+
+func TestTriangleTestCatchesDelayLiar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("positioning run")
+	}
+	m := kingMatrix(100, 6)
+	s := NewSystem(m, Config{Security: true, SolveIterations: 300}, 7)
+	s.Run(3)
+	s.ResetStats()
+	// A blatant liar: +2s delay on every probe violates every triangle.
+	liar := 0
+	for !s.Positioned(liar) {
+		liar++
+	}
+	s.SetTap(liar, delayTap{add: 2000})
+	s.Run(2)
+	st := s.Stats()
+	if st.RejectedMalicious == 0 {
+		t.Fatal("triangle test never rejected a blatant delay liar")
+	}
+}
+
+func TestTriangleTestFalsePositivesOnCleanTIVMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("positioning run")
+	}
+	// The paper's §2.2 critique: on a realistic matrix with persistent
+	// TIVs the triangle test fires on honest anchors even with no
+	// attacker present.
+	m := kingMatrix(120, 7)
+	s := NewSystem(m, Config{Security: true, SolveIterations: 300}, 8)
+	s.Run(4)
+	st := s.Stats()
+	if st.Rejected == 0 {
+		t.Skip("no rejections on this draw; TIV rate too low to assert")
+	}
+	if st.FalsePositiveRate() != 1 {
+		t.Fatalf("clean system rejections must all be false positives, got %v", st.FalsePositiveRate())
+	}
+}
+
+func TestTapCannotShorten(t *testing.T) {
+	m := kingMatrix(60, 8)
+	s := NewSystem(m, Config{Anchors: 8}, 9)
+	s.SetTap(1, shortener{})
+	if got := s.Probe(0, 1); got.RTT < m.RTT(0, 1) {
+		t.Fatal("tap shortened RTT")
+	}
+}
+
+type shortener struct{}
+
+func (shortener) Respond(victim int, honest ProbeReply, view View) ProbeReply {
+	honest.RTT /= 3
+	return honest
+}
+
+func TestDeterminism(t *testing.T) {
+	m := kingMatrix(60, 9)
+	a := NewSystem(m, Config{Anchors: 8, SolveIterations: 200}, 11)
+	b := NewSystem(m, Config{Anchors: 8, SolveIterations: 200}, 11)
+	a.Run(2)
+	b.Run(2)
+	for i := 0; i < m.Size(); i++ {
+		ca, cb := a.Coord(i), b.Coord(i)
+		for d := range ca.V {
+			if ca.V[d] != cb.V[d] {
+				t.Fatal("PIC runs diverged")
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := kingMatrix(10, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("tiny population accepted")
+			}
+		}()
+		NewSystem(m, Config{Anchors: 16}, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("height space accepted")
+			}
+		}()
+		NewSystem(kingMatrix(60, 11), Config{Space: coordspace.EuclideanHeight(2)}, 1)
+	}()
+}
+
+func TestSecurityStatsFalsePositiveRate(t *testing.T) {
+	if (SecurityStats{}).FalsePositiveRate() != 0 {
+		t.Fatal("empty stats")
+	}
+	st := SecurityStats{Rejected: 4, RejectedMalicious: 3}
+	if st.FalsePositiveRate() != 0.25 {
+		t.Fatal("rate wrong")
+	}
+}

@@ -1,0 +1,204 @@
+// Package report renders experiment results as plain-text tables, CSV, and
+// quick ASCII plots — the formats the cmd/vna-sim tool emits so a paper
+// figure can be eyeballed or piped into a plotting tool.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// WriteTable renders the result as an aligned text table: one row per X
+// value, one column per series. Series with differing X grids are aligned
+// on the union of X values; missing points render as "-".
+func WriteTable(w io.Writer, r *experiment.Result) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	xs := unionX(r.Series)
+	header := append([]string{r.XLabel}, labels(r.Series)...)
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range r.Series {
+			if y, ok := lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := writeAligned(w, header, rows); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the result as CSV with columns series,x,y.
+func WriteCSV(w io.Writer, r *experiment.Result) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		label := `"` + strings.ReplaceAll(s.Label, `"`, `""`) + `"`
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", label, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePlot renders a crude ASCII scatter of all series (one rune per
+// series) — enough to see a curve's shape in a terminal.
+func WritePlot(w io.Writer, r *experiment.Result, width, height int) error {
+	if width < 16 {
+		width = 64
+	}
+	if height < 6 {
+		height = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX || minY > maxY {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("ox+*#@%&=~")
+	for si, s := range r.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, line := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "x: %s in [%.4g, %.4g]  y: %s in [%.4g, %.4g]\n",
+		r.XLabel, minX, maxX, r.YLabel, minY, maxY); err != nil {
+		return err
+	}
+	for si, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", marks[si%len(marks)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func labels(series []experiment.Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// unionX merges the X grids of all series, preserving order of first
+// appearance (series are generated on monotone grids).
+func unionX(series []experiment.Series) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+func lookup(s experiment.Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+func writeAligned(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

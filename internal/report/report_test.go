@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func sampleResult() *experiment.Result {
+	r := &experiment.Result{
+		ID: "figXX", Title: "Sample", XLabel: "x", YLabel: "y",
+	}
+	a := experiment.Series{Label: "10%"}
+	a.Add(1, 0.5)
+	a.Add(2, 0.75)
+	b := experiment.Series{Label: "20%"}
+	b.Add(1, 1.5)
+	b.Add(3, 2.25)
+	r.Series = append(r.Series, a, b)
+	r.Notef("clean=%.2f", 0.42)
+	return r
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figXX", "10%", "20%", "0.5000", "2.2500", "note: clean=0.42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// x=3 is missing from series A: a dash must appear.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing-point dash absent:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "series,x,y" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("csv lines %d, want 5", len(lines))
+	}
+	if !strings.Contains(buf.String(), `"10%",1,0.5`) {
+		t.Fatalf("csv content wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSVEscapesQuotes(t *testing.T) {
+	r := &experiment.Result{ID: "q", Title: "t"}
+	s := experiment.Series{Label: `a"b`}
+	s.Add(1, 1)
+	r.Series = append(r.Series, s)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"a""b"`) {
+		t.Fatalf("quote not escaped: %s", buf.String())
+	}
+}
+
+func TestWritePlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlot(&buf, sampleResult(), 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("plot markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "10%") || !strings.Contains(out, "20%") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestWritePlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	r := &experiment.Result{ID: "e", Title: "empty"}
+	if err := WritePlot(&buf, r, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty plot output: %s", buf.String())
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(100) != "100" {
+		t.Fatal(trimFloat(100))
+	}
+	if trimFloat(0.5) != "0.5" {
+		t.Fatal(trimFloat(0.5))
+	}
+}

@@ -1,0 +1,195 @@
+// Package simnet is a small deterministic discrete-event simulator used as
+// the substrate for all coordinate-system experiments (the role p2psim plays
+// in the paper).
+//
+// The simulator owns a virtual clock and a binary-heap event queue. Events
+// scheduled for the same virtual instant fire in FIFO order of scheduling,
+// which makes whole runs bit-for-bit reproducible. The engine is
+// single-goroutine by design: coordinate-system simulations are CPU bound
+// and determinism matters more than parallelism here.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback executed at a virtual instant.
+type Event func()
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct {
+	item *eventItem
+}
+
+// Stop cancels the timer. It reports whether the event was still pending
+// (i.e. had not fired and had not already been stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
+		return false
+	}
+	t.item.cancelled = true
+	return true
+}
+
+type eventItem struct {
+	at        time.Duration
+	seq       uint64
+	fn        Event
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*eventItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Sim is a discrete-event simulation. The zero value is not usable; use New.
+type Sim struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at the absolute virtual time at. Scheduling in the past
+// panics: such an event would silently reorder causality.
+func (s *Sim) At(at time.Duration, fn Event) *Timer {
+	if fn == nil {
+		panic("simnet: nil event")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", at, s.now))
+	}
+	it := &eventItem{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return &Timer{item: it}
+}
+
+// After schedules fn d after the current virtual time. Negative d panics.
+func (s *Sim) After(d time.Duration, fn Event) *Timer {
+	if d < 0 {
+		panic("simnet: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes Run and RunUntil return after the event currently executing
+// (if any) completes. Queued events remain queued.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Step executes the single next pending event, advancing the clock to its
+// instant. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*eventItem)
+		if it.cancelled {
+			continue
+		}
+		s.now = it.at
+		it.fired = true
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (s *Sim) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// peek returns the time of the next non-cancelled event.
+func (s *Sim) peek() (time.Duration, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}
+
+// Ticker invokes fn(tick) every interval of virtual time, starting one
+// interval from now, until the returned stop function is called or fn
+// returns false. The tick argument counts from 1.
+func (s *Sim) Ticker(interval time.Duration, fn func(tick int) bool) (stop func()) {
+	if interval <= 0 {
+		panic("simnet: non-positive ticker interval")
+	}
+	stopped := false
+	tick := 0
+	var schedule func()
+	schedule = func() {
+		s.After(interval, func() {
+			if stopped {
+				return
+			}
+			tick++
+			if fn(tick) {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}

@@ -1,0 +1,245 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant order %v not FIFO", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.At(5*time.Second, func() {
+		s.After(2*time.Second, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 7*time.Second {
+		t.Fatalf("After fired at %v, want 7s", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in past")
+			}
+		}()
+		s.At(500*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil event")
+		}
+	}()
+	New().At(0, nil)
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := false
+	timer := s.At(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop reported event already gone")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop reported pending")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New()
+	timer := s.At(time.Second, func() {})
+	s.Run()
+	if timer.Stop() {
+		t.Fatal("Stop after fire reported pending")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("clock %v, want 2s", s.Now())
+	}
+	// Remaining events still run afterwards.
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after Run, want 4 events", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	s := New()
+	s.RunUntil(90 * time.Second)
+	if s.Now() != 90*time.Second {
+		t.Fatalf("clock %v, want 90s", s.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if i == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("executed %d events before Stop, want 2", count)
+	}
+	s.Run()
+	if count != 5 {
+		t.Fatalf("executed %d total events, want 5", count)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty sim returned true")
+	}
+}
+
+func TestTickerCadence(t *testing.T) {
+	s := New()
+	var ticks []int
+	var times []time.Duration
+	s.Ticker(17*time.Second, func(tick int) bool {
+		ticks = append(ticks, tick)
+		times = append(times, s.Now())
+		return tick < 4
+	})
+	s.Run()
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks, want 4", len(ticks))
+	}
+	for i, tk := range ticks {
+		if tk != i+1 {
+			t.Fatalf("tick numbering %v", ticks)
+		}
+		want := time.Duration(i+1) * 17 * time.Second
+		if times[i] != want {
+			t.Fatalf("tick %d at %v, want %v", tk, times[i], want)
+		}
+	}
+}
+
+func TestTickerStopFunc(t *testing.T) {
+	s := New()
+	count := 0
+	var stop func()
+	stop = s.Ticker(time.Second, func(tick int) bool {
+		count++
+		if tick == 3 {
+			stop()
+		}
+		return true
+	})
+	s.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticker ran %d times after stop, want 3", count)
+	}
+}
+
+func TestTickerNonPositiveIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Ticker(0, func(int) bool { return false })
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after Run, want 0", s.Pending())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		s := New()
+		var got []int
+		s.Ticker(time.Second, func(tick int) bool {
+			got = append(got, tick*10)
+			return tick < 3
+		})
+		s.Ticker(time.Second, func(tick int) bool {
+			got = append(got, tick*10+1)
+			return tick < 3
+		})
+		s.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic run lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic interleaving: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package vivaldi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/latency"
+	"repro/internal/metrics"
+)
+
+func TestRunnerConvergesLikeStepLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence run")
+	}
+	m := latency.GenerateKingLike(latency.DefaultKingLike(100), 4)
+	peers := metrics.PeerSets(m.Size(), 0, 1)
+
+	loop := NewSystem(m, Config{}, 9)
+	loop.Run(1500)
+	loopErr := metrics.Mean(metrics.NodeErrors(m, loop.Space(), loop.Coords(), peers, nil))
+
+	event := NewSystem(m, Config{}, 9)
+	r := NewRunner(event)
+	r.Start()
+	r.RunTicks(1500)
+	eventErr := metrics.Mean(metrics.NodeErrors(m, event.Space(), event.Coords(), peers, nil))
+
+	if eventErr > loopErr*2+0.1 {
+		t.Fatalf("event-driven error %.3f far from step-loop %.3f", eventErr, loopErr)
+	}
+	if eventErr > 0.6 {
+		t.Fatalf("event-driven runner failed to converge: %.3f", eventErr)
+	}
+}
+
+func TestRunnerVirtualTimeAdvances(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(20), 5)
+	sys := NewSystem(m, Config{}, 3)
+	r := NewRunner(sys)
+	r.Start()
+	r.RunTicks(10)
+	if got := r.Sim().Now(); got != 10*TickInterval {
+		t.Fatalf("virtual clock %v, want %v", got, 10*TickInterval)
+	}
+}
+
+func TestRunnerScheduledInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence run")
+	}
+	m := latency.GenerateKingLike(latency.DefaultKingLike(60), 6)
+	peers := metrics.PeerSets(m.Size(), 0, 1)
+	sys := NewSystem(m, Config{}, 7)
+	r := NewRunner(sys)
+	r.Start()
+
+	// Schedule an attack at an absolute virtual instant: tick 800.
+	r.Sim().At(800*TickInterval, func() {
+		sys.SetTap(1, fixedTap{coord: sys.Space().Random(sys.rngs[1], 50000), err: 0.01, extra: 500})
+		sys.SetTap(2, fixedTap{coord: sys.Space().Random(sys.rngs[2], 50000), err: 0.01, extra: 500})
+	})
+	r.RunTicks(700)
+	if sys.IsMalicious(1) {
+		t.Fatal("attack fired before its scheduled time")
+	}
+	preErr := metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, nil))
+	r.RunTicks(800)
+	if !sys.IsMalicious(1) || !sys.IsMalicious(2) {
+		t.Fatal("scheduled attack never fired")
+	}
+	honest := func(i int) bool { return i != 1 && i != 2 }
+	postErr := metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest))
+	if postErr < preErr {
+		t.Fatalf("attack had no effect: pre %.3f post %.3f", preErr, postErr)
+	}
+}
+
+func TestRunnerRespectsSampleGuard(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(30), 7)
+	rejected := 0
+	cfg := Config{
+		SampleGuard: func(node int, resp ProbeResponse, view View) (ProbeResponse, bool) {
+			rejected++
+			return resp, false // reject everything
+		},
+	}
+	sys := NewSystem(m, cfg, 8)
+	r := NewRunner(sys)
+	r.Start()
+	r.RunTicks(5)
+	if rejected == 0 {
+		t.Fatal("guard never consulted")
+	}
+	for i := 0; i < sys.Size(); i++ {
+		c := sys.Coord(i)
+		for _, v := range c.V {
+			if v != 0 {
+				t.Fatal("node moved despite guard rejecting all samples")
+			}
+		}
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(40), 8)
+	run := func() []float64 {
+		sys := NewSystem(m, Config{}, 11)
+		r := NewRunner(sys)
+		r.Start()
+		r.RunTicks(50)
+		var out []float64
+		for i := 0; i < sys.Size(); i++ {
+			out = append(out, sys.Coord(i).V...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("event-driven runs diverged")
+		}
+	}
+}
+
+func TestTickIntervalMatchesPaper(t *testing.T) {
+	if TickInterval != 17*time.Second {
+		t.Fatalf("tick interval %v, want 17s (§5.2)", TickInterval)
+	}
+}

@@ -1,0 +1,391 @@
+// Package vivaldi implements the Vivaldi decentralized network coordinate
+// system (Dabek et al., SIGCOMM 2004) exactly as described in §3.2 of the
+// paper under reproduction: spring relaxation with an adaptive timestep
+// weighted by local and remote error estimates.
+//
+// The package has two layers. Node is the pure per-host algorithm (reused
+// by the live UDP daemon); System runs a population of Nodes against a
+// latency.Matrix with the paper's neighbour structure (64 springs per node,
+// half of them to hosts closer than 50 ms) and exposes the probe-response
+// hook that the attack framework (internal/core) taps.
+package vivaldi
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/coordspace"
+	"repro/internal/latency"
+	"repro/internal/randx"
+)
+
+// Config holds the algorithm and population parameters. Zero fields take
+// the paper's recommended values via withDefaults.
+type Config struct {
+	Space coordspace.Space
+
+	// Cc is the constant fraction for the adaptive timestep δ = Cc·w
+	// (paper: 0.25).
+	Cc float64
+
+	// ConstantDelta, when positive, replaces the adaptive timestep with a
+	// fixed δ, ignoring the error-balancing weight entirely. This is an
+	// ablation knob: the disorder attack works by reporting ej = 0.01 to
+	// inflate w, so removing the adaptive timestep quantifies how much of
+	// the attack's power comes from exploiting it (DESIGN.md §5).
+	ConstantDelta float64
+
+	// Neighbors is the number of springs per node (paper: 64).
+	// CloseNeighbors of them are chosen among hosts with RTT below
+	// CloseThreshold ms (paper: 32 below 50 ms).
+	Neighbors      int
+	CloseNeighbors int
+	CloseThreshold float64
+
+	// InitialError is the starting local error estimate (1.0, meaning
+	// "entirely unsure").
+	InitialError float64
+
+	// MaxError clamps the local error estimate for numeric sanity; it does
+	// not bound the *measured* system error. The floor avoids the
+	// absorbing state w=0.
+	MaxError float64
+	MinError float64
+
+	// SampleGuard, when set, inspects every sample an honest node is
+	// about to apply; it may sanitize the response or reject it outright
+	// (second return false). The paper's plain configuration leaves this
+	// nil; internal/defense installs guards here to evaluate the
+	// mitigations sketched as future work in §6.
+	SampleGuard func(node int, resp ProbeResponse, view View) (ProbeResponse, bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Space.Dims == 0 {
+		c.Space = coordspace.Euclidean(2)
+	}
+	if c.Cc == 0 {
+		c.Cc = 0.25
+	}
+	if c.Neighbors == 0 {
+		c.Neighbors = 64
+	}
+	if c.CloseNeighbors == 0 {
+		c.CloseNeighbors = 32
+	}
+	if c.CloseThreshold == 0 {
+		c.CloseThreshold = 50
+	}
+	if c.InitialError == 0 {
+		c.InitialError = 1
+	}
+	if c.MaxError == 0 {
+		c.MaxError = 250
+	}
+	if c.MinError == 0 {
+		c.MinError = 1e-4
+	}
+	return c
+}
+
+// ProbeResponse is what a probing node learns from one measurement: the
+// probed node's reported coordinate and error estimate, and the RTT the
+// prober measured (which a malicious responder may have inflated by
+// delaying the probe — it can never be shortened).
+type ProbeResponse struct {
+	Coord coordspace.Coord
+	Error float64
+	RTT   float64 // milliseconds
+}
+
+// Node is the per-host Vivaldi state machine.
+type Node struct {
+	cfg   Config
+	coord coordspace.Coord
+	err   float64
+	rng   *rand.Rand
+}
+
+// NewNode returns a node at the origin with the initial error estimate.
+func NewNode(cfg Config, rng *rand.Rand) *Node {
+	cfg = cfg.withDefaults()
+	return &Node{cfg: cfg, coord: cfg.Space.Zero(), err: cfg.InitialError, rng: rng}
+}
+
+// Coord returns a copy of the node's current coordinate.
+func (n *Node) Coord() coordspace.Coord { return n.coord.Clone() }
+
+// Error returns the node's current local error estimate.
+func (n *Node) Error() float64 { return n.err }
+
+// SetCoord overrides the node's coordinate (used by attack bootstrap and
+// tests).
+func (n *Node) SetCoord(c coordspace.Coord) { n.coord = c.Clone() }
+
+// SetError overrides the node's local error estimate.
+func (n *Node) SetError(e float64) { n.err = n.clampErr(e) }
+
+func (n *Node) clampErr(e float64) float64 {
+	if math.IsNaN(e) || e < n.cfg.MinError {
+		return n.cfg.MinError
+	}
+	if e > n.cfg.MaxError {
+		return n.cfg.MaxError
+	}
+	return e
+}
+
+// Update applies one measurement sample using the §3.2 rules:
+//
+//	w  = ei / (ei + ej)
+//	es = | ‖xi−xj‖ − rtt | / rtt
+//	δ  = Cc · w
+//	xi = xi + δ · (rtt − ‖xi−xj‖) · u(xi − xj)
+//	ei = es·w + ei·(1−w)
+//
+// Samples with non-positive RTT or invalid remote coordinates are ignored.
+func (n *Node) Update(resp ProbeResponse) {
+	if resp.RTT <= 0 || !n.cfg.Space.Compatible(resp.Coord) {
+		return
+	}
+	ej := resp.Error
+	if math.IsNaN(ej) || ej < 0 {
+		return
+	}
+	if ej < n.cfg.MinError {
+		ej = n.cfg.MinError
+	}
+	w := n.err / (n.err + ej)
+	unit, dist := n.cfg.Space.Unit(n.coord, resp.Coord, n.rng)
+	if math.IsInf(dist, 0) {
+		return // absurd remote coordinate; distance overflowed
+	}
+	es := math.Abs(dist-resp.RTT) / resp.RTT
+	delta := n.cfg.Cc * w
+	if n.cfg.ConstantDelta > 0 {
+		delta = n.cfg.ConstantDelta
+	}
+	moved := n.cfg.Space.Displace(n.coord, unit, delta*(resp.RTT-dist))
+	if !moved.IsValid() {
+		return // never corrupt local state, however hostile the sample
+	}
+	n.coord = moved
+	n.err = n.clampErr(es*w + n.err*(1-w))
+}
+
+// Tap is the probe-path interception point used by the attack framework.
+// When node `prober` measures the tap's owner, Respond receives the honest
+// response and returns what the prober actually observes. The system
+// enforces that a tap cannot report an RTT below the honest one (delays
+// only, §5.3.2).
+type Tap interface {
+	Respond(prober int, honest ProbeResponse, view View) ProbeResponse
+}
+
+// View is the read-only system state available to taps (an attacker can
+// learn coordinates by probing, so this models public knowledge).
+type View interface {
+	Space() coordspace.Space
+	Coord(i int) coordspace.Coord
+	LocalError(i int) float64
+	TrueRTT(i, j int) float64
+	Tick() int
+	Size() int
+}
+
+// System simulates a Vivaldi population over a latency matrix.
+type System struct {
+	cfg       Config
+	m         *latency.Matrix
+	nodes     []*Node
+	neighbors [][]int
+	taps      []Tap
+	rngs      []*rand.Rand
+	tick      int
+}
+
+var _ View = (*System)(nil)
+
+// NewSystem builds a population of m.Size() nodes with the paper's
+// neighbour structure, deterministically from seed.
+func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
+	cfg = cfg.withDefaults()
+	n := m.Size()
+	s := &System{
+		cfg:       cfg,
+		m:         m,
+		nodes:     make([]*Node, n),
+		neighbors: make([][]int, n),
+		taps:      make([]Tap, n),
+		rngs:      make([]*rand.Rand, n),
+	}
+	for i := 0; i < n; i++ {
+		s.rngs[i] = randx.NewDerived(seed, "vivaldi-node", i)
+		s.nodes[i] = NewNode(cfg, s.rngs[i])
+	}
+	selRng := randx.NewDerived(seed, "vivaldi-neighbors", 0)
+	for i := 0; i < n; i++ {
+		s.neighbors[i] = pickNeighbors(m, i, cfg, selRng)
+	}
+	return s
+}
+
+// pickNeighbors selects the paper's spring set for node i: up to
+// CloseNeighbors hosts with RTT below CloseThreshold, topped up to
+// Neighbors with random other hosts.
+func pickNeighbors(m *latency.Matrix, i int, cfg Config, rng *rand.Rand) []int {
+	n := m.Size()
+	if n-1 <= cfg.Neighbors {
+		all := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				all = append(all, j)
+			}
+		}
+		return all
+	}
+	var close, far []int
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		if m.RTT(i, j) < cfg.CloseThreshold {
+			close = append(close, j)
+		} else {
+			far = append(far, j)
+		}
+	}
+	rng.Shuffle(len(close), func(a, b int) { close[a], close[b] = close[b], close[a] })
+	rng.Shuffle(len(far), func(a, b int) { far[a], far[b] = far[b], far[a] })
+
+	want := cfg.Neighbors
+	set := make([]int, 0, want)
+	nc := cfg.CloseNeighbors
+	if nc > len(close) {
+		nc = len(close)
+	}
+	set = append(set, close[:nc]...)
+	for _, j := range far {
+		if len(set) == want {
+			break
+		}
+		set = append(set, j)
+	}
+	// Not enough far hosts: top up from the remaining close ones.
+	for _, j := range close[nc:] {
+		if len(set) == want {
+			break
+		}
+		set = append(set, j)
+	}
+	return set
+}
+
+// Size returns the population size.
+func (s *System) Size() int { return len(s.nodes) }
+
+// Space returns the embedding space.
+func (s *System) Space() coordspace.Space { return s.cfg.Space }
+
+// Config returns the effective configuration (defaults resolved).
+func (s *System) Config() Config { return s.cfg }
+
+// Tick returns the number of completed simulation ticks.
+func (s *System) Tick() int { return s.tick }
+
+// Coord returns a copy of node i's coordinate.
+func (s *System) Coord(i int) coordspace.Coord { return s.nodes[i].Coord() }
+
+// Coords returns copies of all coordinates, indexed by node.
+func (s *System) Coords() []coordspace.Coord {
+	out := make([]coordspace.Coord, len(s.nodes))
+	for i, nd := range s.nodes {
+		out[i] = nd.Coord()
+	}
+	return out
+}
+
+// LocalError returns node i's local error estimate.
+func (s *System) LocalError(i int) float64 { return s.nodes[i].Error() }
+
+// TrueRTT returns the underlying matrix RTT between i and j.
+func (s *System) TrueRTT(i, j int) float64 { return s.m.RTT(i, j) }
+
+// Matrix returns the underlying latency matrix.
+func (s *System) Matrix() *latency.Matrix { return s.m }
+
+// Node returns the underlying node state machine for i (tests and the
+// defense package use this; experiments should not).
+func (s *System) Node(i int) *Node { return s.nodes[i] }
+
+// Neighbors returns node i's spring set (not a copy; do not mutate).
+func (s *System) Neighbors(i int) []int { return s.neighbors[i] }
+
+// ResetNode returns node i to its just-joined state (origin coordinate,
+// initial error). Experiments use it to model churn: a departing host's
+// slot is taken by a fresh join that must re-converge from scratch.
+func (s *System) ResetNode(i int) {
+	s.nodes[i] = NewNode(s.cfg, s.rngs[i])
+}
+
+// SetTap installs (or, with nil, removes) a probe tap on node i. All
+// responses from i pass through the tap afterwards.
+func (s *System) SetTap(i int, t Tap) { s.taps[i] = t }
+
+// TapOf returns the tap installed on node i, or nil.
+func (s *System) TapOf(i int) Tap { return s.taps[i] }
+
+// IsMalicious reports whether node i currently has a tap installed.
+func (s *System) IsMalicious(i int) bool { return s.taps[i] != nil }
+
+// Probe performs one measurement of j by i and returns what i observed.
+// The honest response is the true RTT plus j's reported state; a tap on j
+// may falsify coordinates and error and may only *increase* the RTT.
+func (s *System) Probe(i, j int) ProbeResponse {
+	honest := ProbeResponse{
+		Coord: s.nodes[j].Coord(),
+		Error: s.nodes[j].Error(),
+		RTT:   s.m.RTT(i, j),
+	}
+	if tap := s.taps[j]; tap != nil {
+		forged := tap.Respond(i, honest, s)
+		if forged.RTT < honest.RTT {
+			forged.RTT = honest.RTT // delays only; cannot shorten physics
+		}
+		return forged
+	}
+	return honest
+}
+
+// Step runs one simulation tick: every node probes one uniformly random
+// neighbour and applies the update rule. Malicious nodes still probe (they
+// must appear to participate) but do not move their own coordinates, since
+// they answer with forged state anyway.
+func (s *System) Step() {
+	s.tick++
+	for i, nd := range s.nodes {
+		nbrs := s.neighbors[i]
+		if len(nbrs) == 0 {
+			continue
+		}
+		j := nbrs[s.rngs[i].Intn(len(nbrs))]
+		resp := s.Probe(i, j)
+		if s.taps[i] != nil {
+			continue // malicious nodes do not move themselves
+		}
+		if s.cfg.SampleGuard != nil {
+			var ok bool
+			if resp, ok = s.cfg.SampleGuard(i, resp, s); !ok {
+				continue
+			}
+		}
+		nd.Update(resp)
+	}
+}
+
+// Run executes n ticks.
+func (s *System) Run(n int) {
+	for t := 0; t < n; t++ {
+		s.Step()
+	}
+}

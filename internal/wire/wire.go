@@ -1,0 +1,172 @@
+// Package wire defines the binary protocol of the live UDP Vivaldi daemon
+// (internal/daemon): a two-message ping protocol in which the response
+// carries the responder's coordinate and error estimate, exactly the
+// information the paper's attackers forge.
+//
+// Encoding is big-endian with a fixed header:
+//
+//	magic   uint16  0x5643 ("VC")
+//	version uint8   1
+//	type    uint8   1=probe request, 2=probe response
+//
+// ProbeRequest:
+//
+//	seq      uint32
+//	sentNano int64   sender clock, echoed back verbatim
+//
+// ProbeResponse:
+//
+//	seq      uint32
+//	echoNano int64   copied from the request (RTT = now − echoNano)
+//	error    float64 responder's local error estimate
+//	dims     uint8   number of Euclidean components
+//	height   float64
+//	vec      dims × float64
+//
+// Responders are stateless reflectors: everything a prober needs to
+// measure RTT travels in the packet, so a malicious responder can delay
+// but never shorten the measured RTT (it cannot forge a *later* send
+// timestamp without the prober noticing a response to a never-sent probe;
+// sequence numbers are validated against in-flight state by the daemon).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Protocol constants.
+const (
+	Magic   uint16 = 0x5643
+	Version uint8  = 1
+
+	TypeProbeRequest  uint8 = 1
+	TypeProbeResponse uint8 = 2
+
+	headerLen     = 4
+	requestLen    = headerLen + 4 + 8
+	responseFixed = headerLen + 4 + 8 + 8 + 1 + 8
+	// MaxDims bounds the coordinate dimensionality on the wire; it exists
+	// to cap allocation from hostile packets.
+	MaxDims = 32
+)
+
+// Errors returned by decoding.
+var (
+	ErrTooShort   = errors.New("wire: packet too short")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrBadDims    = errors.New("wire: invalid dimension count")
+	ErrTruncated  = errors.New("wire: truncated payload")
+	ErrNotFinite  = errors.New("wire: non-finite float field")
+)
+
+// ProbeRequest asks a peer for its coordinate state.
+type ProbeRequest struct {
+	Seq      uint32
+	SentNano int64 // prober's clock; echoed back
+}
+
+// ProbeResponse carries the responder's reported state.
+type ProbeResponse struct {
+	Seq      uint32
+	EchoNano int64 // copied from the request
+	Error    float64
+	Height   float64
+	Vec      []float64
+}
+
+// AppendRequest appends the encoded request to dst and returns it.
+func AppendRequest(dst []byte, m ProbeRequest) []byte {
+	dst = appendHeader(dst, TypeProbeRequest)
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.SentNano))
+	return dst
+}
+
+// AppendResponse appends the encoded response to dst and returns it.
+func AppendResponse(dst []byte, m ProbeResponse) []byte {
+	dst = appendHeader(dst, TypeProbeResponse)
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.EchoNano))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Error))
+	dst = append(dst, uint8(len(m.Vec)))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Height))
+	for _, v := range m.Vec {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+func appendHeader(dst []byte, typ uint8) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, typ)
+	return dst
+}
+
+// Decode parses a packet into either a ProbeRequest or a ProbeResponse.
+func Decode(b []byte) (any, error) {
+	if len(b) < headerLen {
+		return nil, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return nil, ErrBadMagic
+	}
+	if b[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	switch b[3] {
+	case TypeProbeRequest:
+		return decodeRequest(b)
+	case TypeProbeResponse:
+		return decodeResponse(b)
+	}
+	return nil, fmt.Errorf("%w: %d", ErrBadType, b[3])
+}
+
+func decodeRequest(b []byte) (ProbeRequest, error) {
+	if len(b) < requestLen {
+		return ProbeRequest{}, ErrTruncated
+	}
+	return ProbeRequest{
+		Seq:      binary.BigEndian.Uint32(b[4:]),
+		SentNano: int64(binary.BigEndian.Uint64(b[8:])),
+	}, nil
+}
+
+func decodeResponse(b []byte) (ProbeResponse, error) {
+	if len(b) < responseFixed {
+		return ProbeResponse{}, ErrTruncated
+	}
+	m := ProbeResponse{
+		Seq:      binary.BigEndian.Uint32(b[4:]),
+		EchoNano: int64(binary.BigEndian.Uint64(b[8:])),
+		Error:    math.Float64frombits(binary.BigEndian.Uint64(b[16:])),
+	}
+	dims := int(b[24])
+	if dims == 0 || dims > MaxDims {
+		return ProbeResponse{}, fmt.Errorf("%w: %d", ErrBadDims, dims)
+	}
+	m.Height = math.Float64frombits(binary.BigEndian.Uint64(b[25:]))
+	if len(b) < responseFixed+8*dims {
+		return ProbeResponse{}, ErrTruncated
+	}
+	m.Vec = make([]float64, dims)
+	for i := range m.Vec {
+		m.Vec[i] = math.Float64frombits(binary.BigEndian.Uint64(b[33+8*i:]))
+	}
+	if !finite(m.Error) || !finite(m.Height) {
+		return ProbeResponse{}, ErrNotFinite
+	}
+	for _, v := range m.Vec {
+		if !finite(v) {
+			return ProbeResponse{}, ErrNotFinite
+		}
+	}
+	return m, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := ProbeRequest{Seq: 12345, SentNano: 987654321012}
+	pkt := AppendRequest(nil, in)
+	out, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(ProbeRequest)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got != in {
+		t.Fatalf("round trip %+v != %+v", got, in)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := ProbeResponse{
+		Seq:      7,
+		EchoNano: -42,
+		Error:    0.25,
+		Height:   3.5,
+		Vec:      []float64{1.5, -2.25, 1e6},
+	}
+	pkt := AppendResponse(nil, in)
+	out, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(ProbeResponse)
+	if got.Seq != in.Seq || got.EchoNano != in.EchoNano ||
+		got.Error != in.Error || got.Height != in.Height {
+		t.Fatalf("round trip %+v != %+v", got, in)
+	}
+	for i := range in.Vec {
+		if got.Vec[i] != in.Vec[i] {
+			t.Fatalf("vec[%d] %v != %v", i, got.Vec[i], in.Vec[i])
+		}
+	}
+}
+
+func TestResponseRoundTripProperty(t *testing.T) {
+	f := func(seq uint32, echo int64, errv float64, h float64, seed int64) bool {
+		if math.IsNaN(errv) || math.IsInf(errv, 0) || math.IsNaN(h) || math.IsInf(h, 0) {
+			return true // finite fields only; non-finite is rejected by design
+		}
+		r := rand.New(rand.NewSource(seed))
+		vec := make([]float64, 1+r.Intn(MaxDims))
+		for i := range vec {
+			vec[i] = r.NormFloat64() * 1e4
+		}
+		in := ProbeResponse{Seq: seq, EchoNano: echo, Error: errv, Height: h, Vec: vec}
+		out, err := Decode(AppendResponse(nil, in))
+		if err != nil {
+			return false
+		}
+		got := out.(ProbeResponse)
+		if got.Seq != in.Seq || got.EchoNano != in.EchoNano || got.Error != in.Error || got.Height != in.Height {
+			return false
+		}
+		for i := range vec {
+			if got.Vec[i] != vec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		pkt  []byte
+		want error
+	}{
+		{"empty", nil, ErrTooShort},
+		{"short", []byte{0x56}, ErrTooShort},
+		{"magic", []byte{0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, ErrBadMagic},
+		{"version", []byte{0x56, 0x43, 9, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, ErrBadVersion},
+		{"type", []byte{0x56, 0x43, 1, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, ErrBadType},
+		{"truncreq", []byte{0x56, 0x43, 1, 1, 0, 0}, ErrTruncated},
+		{"truncresp", []byte{0x56, 0x43, 1, 2, 0, 0, 0, 0}, ErrTruncated},
+	}
+	for _, tc := range cases {
+		_, err := Decode(tc.pkt)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsBadDims(t *testing.T) {
+	in := ProbeResponse{Seq: 1, Vec: []float64{1}}
+	pkt := AppendResponse(nil, in)
+	pkt[24] = 0
+	if _, err := Decode(pkt); !errors.Is(err, ErrBadDims) {
+		t.Fatalf("dims=0: %v", err)
+	}
+	pkt[24] = MaxDims + 1
+	if _, err := Decode(pkt); !errors.Is(err, ErrBadDims) {
+		t.Fatalf("dims>max: %v", err)
+	}
+}
+
+func TestDecodeRejectsTruncatedVec(t *testing.T) {
+	in := ProbeResponse{Seq: 1, Vec: []float64{1, 2, 3}}
+	pkt := AppendResponse(nil, in)
+	if _, err := Decode(pkt[:len(pkt)-8]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated vec: %v", err)
+	}
+}
+
+func TestDecodeRejectsNonFinite(t *testing.T) {
+	for _, in := range []ProbeResponse{
+		{Seq: 1, Error: math.NaN(), Vec: []float64{1}},
+		{Seq: 1, Height: math.Inf(1), Vec: []float64{1}},
+		{Seq: 1, Vec: []float64{math.NaN()}},
+	} {
+		if _, err := Decode(AppendResponse(nil, in)); !errors.Is(err, ErrNotFinite) {
+			t.Fatalf("non-finite accepted: %+v -> %v", in, err)
+		}
+	}
+}
+
+func TestAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 128)
+	pkt := AppendRequest(buf, ProbeRequest{Seq: 1})
+	if &buf[:1][0] != &pkt[:1][0] {
+		t.Fatal("AppendRequest reallocated despite capacity")
+	}
+}
+
+func BenchmarkAppendResponse(b *testing.B) {
+	m := ProbeResponse{Seq: 1, EchoNano: 2, Error: 0.3, Vec: make([]float64, 8)}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendResponse(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodeResponse(b *testing.B) {
+	pkt := AppendResponse(nil, ProbeResponse{Seq: 1, Error: 0.3, Vec: make([]float64, 8)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
