@@ -1,19 +1,21 @@
 package vna
 
 // The benchmark harness: one benchmark per paper figure (fig01..fig26,
-// figure 17 being a diagram), plus micro-benchmarks of the hot paths and
-// the ablation benches called out in DESIGN.md §5.
+// figure 17 being a diagram), the engine's parallel-scaling benches, plus
+// micro-benchmarks of the hot paths and the ablation benches called out in
+// DESIGN.md §5.
 //
 // Figure benches run the registered experiment at the minimal Bench
 // preset: they measure the cost of regenerating a figure's data (and keep
 // every attack path exercised under -bench). To regenerate figures at
-// paper scale, use: go run repro/cmd/vna-sim -exp all -preset full
+// paper scale, use: go run repro/cmd/vna-sim -scenario all -preset full
 
 import (
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/defense"
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/gnp"
 	"repro/internal/latency"
@@ -65,6 +67,52 @@ func BenchmarkFig23(b *testing.B) { benchFigure(b, "fig23") }
 func BenchmarkFig24(b *testing.B) { benchFigure(b, "fig24") }
 func BenchmarkFig25(b *testing.B) { benchFigure(b, "fig25") }
 func BenchmarkFig26(b *testing.B) { benchFigure(b, "fig26") }
+
+// Engine parallel-scaling benches: the same registered scenario at the
+// Bench preset on 1, 4 and 8 workers. The produced series are
+// bit-identical across the three; only wall-clock changes. fig01 expands
+// to five independent runs (one per attacker fraction), so the unit lane
+// of the executor carries the speedup even when per-tick shards are too
+// small to parallelize; on a single-core host all three degenerate to the
+// serial path.
+
+func benchEngineParallel(b *testing.B, workers int) {
+	b.Helper()
+	sp, ok := engine.Get("fig01")
+	if !ok {
+		b.Fatal("fig01 not registered")
+	}
+	pool := engine.NewPool(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.RunScenario(sp, engine.Bench, pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatal("no series produced")
+		}
+	}
+}
+
+func BenchmarkEngineParallel1(b *testing.B) { benchEngineParallel(b, 1) }
+func BenchmarkEngineParallel4(b *testing.B) { benchEngineParallel(b, 4) }
+func BenchmarkEngineParallel8(b *testing.B) { benchEngineParallel(b, 8) }
+
+// BenchmarkEngineTickSharded measures one sharded Vivaldi tick at the
+// paper's population size on 8 workers (compare BenchmarkVivaldiTick for
+// the sequential in-place sweep).
+func BenchmarkEngineTickSharded(b *testing.B) {
+	m := benchMatrix(1740)
+	cs := engine.NewVivaldi(m, vivaldi.Config{}, 1)
+	pool := engine.NewPool(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Step(pool)
+	}
+}
 
 // Micro-benchmarks of the hot paths.
 

@@ -1,14 +1,18 @@
-// Command vna-sim regenerates the paper's evaluation figures.
+// Command vna-sim regenerates the paper's evaluation figures through the
+// unified scenario engine.
 //
 // Usage:
 //
 //	vna-sim -list
-//	vna-sim -exp fig01 [-preset quick|standard|full] [-format table|csv|plot]
-//	vna-sim -exp all -preset quick -out results/
+//	vna-sim -scenario fig01 [-preset bench|quick|standard|full] [-workers N] [-format table|csv|plot]
+//	vna-sim -scenario all -preset quick -out results/
 //
-// Each experiment prints labelled data series (the rows/curves of the
+// Each scenario prints labelled data series (the rows/curves of the
 // corresponding paper figure) plus notes with reference values such as the
-// clean-system error and the random-coordinate baseline.
+// clean-system error and the random-coordinate baseline. -workers sets the
+// engine's worker-pool width (0 = GOMAXPROCS); it changes wall-clock time
+// only — at a fixed seed the produced series are bit-identical for any
+// worker count. -exp is accepted as an alias of -scenario.
 package main
 
 import (
@@ -20,28 +24,39 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "", "experiment id (fig01..fig26), comma-separated list, or 'all'")
-		presetFlag = flag.String("preset", "quick", "scale preset: quick, standard or full")
-		formatFlag = flag.String("format", "table", "output format: table, csv or plot")
-		outFlag    = flag.String("out", "", "output directory (default: stdout)")
-		listFlag   = flag.Bool("list", false, "list available experiments and exit")
+		scenarioFlag = flag.String("scenario", "", "scenario name (fig01..fig26, extA..), comma-separated list, or 'all'")
+		expFlag      = flag.String("exp", "", "alias of -scenario")
+		presetFlag   = flag.String("preset", "quick", "scale preset: bench, quick, standard or full")
+		workersFlag  = flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS)")
+		formatFlag   = flag.String("format", "table", "output format: table, csv or plot")
+		outFlag      = flag.String("out", "", "output directory (default: stdout)")
+		listFlag     = flag.Bool("list", false, "list registered scenarios and exit")
 	)
 	flag.Parse()
 
 	if *listFlag {
-		for _, reg := range experiment.List() {
-			fmt.Printf("%-6s %-10s %s\n", reg.ID, reg.Figure, reg.Title)
+		for _, sp := range engine.List() {
+			kind := string(sp.System)
+			if sp.Custom != nil {
+				kind = "custom"
+			}
+			fmt.Printf("%-6s %-12s %-8s %s\n", sp.Name, sp.Figure, kind, sp.Title)
 		}
 		return
 	}
-	if *expFlag == "" {
-		fmt.Fprintln(os.Stderr, "vna-sim: -exp is required (or use -list); e.g. -exp fig01 or -exp all")
+	sel := *scenarioFlag
+	if sel == "" {
+		sel = *expFlag
+	}
+	if sel == "" {
+		fmt.Fprintln(os.Stderr, "vna-sim: -scenario is required (or use -list); e.g. -scenario fig01 or -scenario all")
 		os.Exit(2)
 	}
 	preset, err := experiment.PresetByName(*presetFlag)
@@ -54,26 +69,24 @@ func main() {
 	}
 
 	var ids []string
-	if *expFlag == "all" {
-		for _, reg := range experiment.List() {
-			ids = append(ids, reg.ID)
+	if sel == "all" {
+		for _, sp := range engine.List() {
+			ids = append(ids, sp.Name)
 		}
 	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
+		for _, id := range strings.Split(sel, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
 
 	for _, id := range ids {
-		reg, ok := experiment.Get(id)
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
-		}
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running %s (%s) at preset %s...\n", reg.ID, reg.Figure, preset.Name)
-		result := reg.Run(preset)
-		fmt.Fprintf(os.Stderr, "done %s in %v\n", reg.ID, time.Since(start).Round(time.Millisecond))
-		result.Title = reg.Title
+		fmt.Fprintf(os.Stderr, "running %s at preset %s (workers=%d)...\n", id, preset.Name, *workersFlag)
+		result, err := experiment.RunWith(id, preset, *workersFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "done %s in %v\n", id, time.Since(start).Round(time.Millisecond))
 
 		out := io.Writer(os.Stdout)
 		if *outFlag != "" {

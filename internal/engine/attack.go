@@ -1,0 +1,91 @@
+package engine
+
+// AttackKind names one strategy of the paper's attack taxonomy (§4–§5).
+// Kinds are interpreted by the CoordSystem adapters: "disorder" and
+// "combined" exist for both systems (with system-specific mechanics), the
+// repulsion/collusion kinds are Vivaldi's (§5.3), and the anti-detection
+// and colluding-isolation kinds are NPS's (§5.4).
+type AttackKind string
+
+// The registered attack kinds.
+const (
+	// AttackNone installs nothing: the clean reference run.
+	AttackNone AttackKind = ""
+
+	// AttackDisorder is §5.3.1 (Vivaldi: random coordinate lies, tiny
+	// reported error, delayed probes) and §5.4.1 (NPS: honest coordinates,
+	// delayed probes).
+	AttackDisorder AttackKind = "disorder"
+
+	// AttackRepulsion is §5.3.2: push victims toward a far-away
+	// coordinate via mirror-point lies. SubsetFrac restricts each
+	// attacker to an independently drawn victim subset.
+	AttackRepulsion AttackKind = "repulsion"
+
+	// AttackColludeRepel is §5.3.3 strategy 1: consistently exile every
+	// honest node away from the conspiracy's designated target.
+	AttackColludeRepel AttackKind = "collude-repel"
+
+	// AttackColludeLure is §5.3.3 strategy 2: lure the target into the
+	// attackers' pretend remote cluster.
+	AttackColludeLure AttackKind = "collude-lure"
+
+	// AttackAntiDetect is §5.4.2: consistent NPS lies that evade the
+	// security filter; KnowP is the victim-coordinate knowledge
+	// probability.
+	AttackAntiDetect AttackKind = "anti-detection"
+
+	// AttackAntiDetectSoph is §5.4.3: anti-detection that additionally
+	// dodges the probe threshold by only attacking nearby victims.
+	AttackAntiDetectSoph AttackKind = "anti-detection-sophisticated"
+
+	// AttackColludingIsolation is §5.4.4: NPS colluders stay honest until
+	// serving as references, then consistently exile an agreed victim
+	// set (VictimFrac of the honest layer-2 population).
+	AttackColludingIsolation AttackKind = "colluding-isolation"
+
+	// AttackCombined splits the malicious population evenly across the
+	// system's three main strategies (§5.3.4 / §5.4.4 closing
+	// experiment).
+	AttackCombined AttackKind = "combined"
+)
+
+// AttackSpec declares an attack mix. The zero value means "no attack".
+// Specs are plain comparable values: the scenario runner dedupes runs by
+// their full specification, so two series referencing the same attack
+// share one simulation.
+type AttackSpec struct {
+	Kind AttackKind
+
+	// SubsetFrac (repulsion): fraction of the population each attacker
+	// independently victimizes; 0 = everyone (fig. 5 vs fig. 7).
+	SubsetFrac float64
+
+	// KnowP (anti-detection): probability of knowing a victim's true
+	// coordinates (fig. 19/20/22 sweep).
+	KnowP float64
+
+	// VictimFrac (colluding isolation): fraction of the honest layer-2
+	// population designated as victims; 0 takes the default 0.2.
+	VictimFrac float64
+
+	// Target (Vivaldi collusion): the designated victim node. Node 0 is
+	// as good as any — matrix rows carry no special meaning.
+	Target int
+}
+
+// repulsionScale is how far from the origin repulsion attackers pick their
+// Xtarget (§5.3.2: "far away from the origin"; the random-coordinate
+// baseline uses the same 50000 scale).
+const repulsionScale = 50000
+
+// lureClusterNorm places the pretend cluster of colluding strategy 2.
+const lureClusterNorm = 40000
+
+// npsIsolationRadius is the agreed exile distance of the NPS colluding
+// isolation attack (§5.4.4).
+const npsIsolationRadius = 2500
+
+// defaultNPSVictimFrac is the victim fraction when a colluding spec leaves
+// VictimFrac zero.
+const defaultNPSVictimFrac = 0.2

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"repro/internal/coordspace"
+	"repro/internal/latency"
+	"repro/internal/nps"
+)
+
+// SystemKind names a coordinate-system implementation.
+type SystemKind string
+
+// The systems the paper attacks.
+const (
+	SystemVivaldi SystemKind = "vivaldi"
+	SystemNPS     SystemKind = "nps"
+)
+
+// CoordSystem is the engine's uniform view of a simulated coordinate
+// system. Adapters over vivaldi.System and nps.System implement it; the
+// scenario runner drives every experiment — attack injection, sharded tick
+// execution, measurement — exclusively through this interface, so a new
+// coordinate system (or a live-network backend) plugs into every
+// registered scenario by implementing it.
+type CoordSystem interface {
+	// Kind identifies the implementation.
+	Kind() SystemKind
+
+	// Size returns the population size.
+	Size() int
+
+	// Space returns the embedding geometry.
+	Space() coordspace.Space
+
+	// Matrix returns the underlying latency substrate.
+	Matrix() *latency.Matrix
+
+	// Step advances the system by one tick (Vivaldi) or positioning round
+	// (NPS), sharding node updates across sh. Implementations must produce
+	// bit-identical state for any worker count at a fixed seed.
+	Step(sh Sharder)
+
+	// Inject selects the attack implementation for spec and installs taps
+	// on the given malicious nodes, deterministically from seed. It
+	// returns what the attack decided (victim sets, designated target).
+	Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error)
+
+	// EligibleAttacker reports whether node i may be drawn malicious
+	// (NPS landmarks, assumed secure, are not).
+	EligibleAttacker(i int) bool
+
+	// Evaluable reports whether node i participates in accuracy
+	// aggregates (NPS landmarks have pinned coordinates and do not).
+	Evaluable(i int) bool
+
+	// Snapshot returns copies of all current coordinates.
+	Snapshot() []coordspace.Coord
+
+	// Measure returns every node's mean relative error against the true
+	// matrix over its evaluation peers, sharded across sh. Nodes with
+	// include(i) false (nil = all) get NaN.
+	Measure(peers [][]int, include func(int) bool, sh Sharder) []float64
+}
+
+// Injection records what an attack installation decided, for measurement:
+// which nodes are malicious, the colluding victim set (if any), and the
+// designated isolation target (-1 if none).
+type Injection struct {
+	Malicious []int
+	MalSet    map[int]bool
+	Victims   map[int]bool
+	Target    int
+}
+
+// Optional CoordSystem capabilities, discovered by type assertion.
+
+// FilterStatser is implemented by systems with a malicious-reference
+// detection mechanism whose decisions the scenarios count (NPS).
+type FilterStatser interface {
+	FilterStats() nps.FilterStats
+	ResetFilterStats()
+}
+
+// Layered is implemented by hierarchical systems (NPS): scenarios that
+// study error propagation group final errors by layer.
+type Layered interface {
+	Layer(i int) int
+	Layers() int
+}
+
+// Churner is implemented by systems that support membership churn: a
+// departing host's slot is taken by a fresh join that re-converges from
+// scratch.
+type Churner interface {
+	ResetNode(i int)
+}

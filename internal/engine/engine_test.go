@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/nps"
+	"repro/internal/vivaldi"
+)
+
+// testScale keeps engine tests fast while exercising every moving part:
+// repetitions, sharded ticks, measurement cadence.
+var testScale = Scale{
+	Name:                 "engine-test",
+	Nodes:                70,
+	Reps:                 2,
+	Seed:                 3,
+	VivaldiConvergeTicks: 250,
+	VivaldiAttackTicks:   250,
+	MeasureEvery:         50,
+	NPSConvergeRounds:    2,
+	NPSAttackRounds:      2,
+	EvalPeers:            16,
+	NPSSolveIterations:   120,
+}
+
+func timeSpec(system SystemKind, out OutputKind, series ...SeriesSpec) ScenarioSpec {
+	return ScenarioSpec{
+		Name: "test", Figure: "Test", Title: "test scenario",
+		System: system, Output: out, Series: series,
+	}
+}
+
+func run1(label string, r RunSpec) SeriesSpec {
+	return SeriesSpec{Label: label, Runs: []RunSpec{r}}
+}
+
+func TestVivaldiCleanBaseline(t *testing.T) {
+	sp := timeSpec(SystemVivaldi, OutRatioVsTime, run1("clean", RunSpec{}))
+	res, err := RunScenario(sp, testScale, NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("series %d", len(res.Series))
+	}
+	// Without attackers the ratio must hover around 1.
+	for k, y := range res.Series[0].Y {
+		if y < 0.5 || y > 2 {
+			t.Fatalf("clean ratio[%d] = %v, want ~1", k, y)
+		}
+	}
+}
+
+func TestVivaldiDisorderDegrades(t *testing.T) {
+	sp := timeSpec(SystemVivaldi, OutRatioVsTime,
+		run1("50%", RunSpec{Frac: 0.5, Attack: AttackSpec{Kind: AttackDisorder}}))
+	res, err := RunScenario(sp, testScale, NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := res.Series[0].Y
+	if last := ys[len(ys)-1]; last < 2 {
+		t.Fatalf("50%% disorder ratio %v, want noticeable degradation", last)
+	}
+}
+
+func TestNPSDisorderFiltering(t *testing.T) {
+	sp := timeSpec(SystemNPS, OutFilterRatioVsX, SeriesSpec{
+		Label: "20%",
+		Runs:  []RunSpec{{Frac: 0.2, Attack: AttackSpec{Kind: AttackDisorder}, Security: true}},
+	})
+	res, err := RunScenario(sp, testScale, NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Series[0].Y[0]; got < 0.3 {
+		t.Fatalf("filter precision %.2f against simple disorder", got)
+	}
+}
+
+func TestNPSColludingVictims(t *testing.T) {
+	sp := timeSpec(SystemNPS, OutFinalCDF, SeriesSpec{
+		Label:  "victims",
+		Select: SelectVictims,
+		Runs:   []RunSpec{{Frac: 0.2, Attack: AttackSpec{Kind: AttackColludingIsolation}, Security: true}},
+	})
+	res, err := RunScenario(sp, testScale, NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series[0].Y) == 0 {
+		t.Fatal("no victim errors collected")
+	}
+}
+
+func TestSeriesShapeAndSampling(t *testing.T) {
+	sp := timeSpec(SystemVivaldi, OutMeanVsTime, run1("x", RunSpec{Frac: 0.2, Attack: AttackSpec{Kind: AttackDisorder}}))
+	res, err := RunScenario(sp, testScale, NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testScale.VivaldiAttackTicks/testScale.MeasureEvery + 1
+	s := res.Series[0]
+	if len(s.X) != want || len(s.Y) != want {
+		t.Fatalf("series length %d/%d, want %d", len(s.X), len(s.Y), want)
+	}
+	if s.X[0] != float64(testScale.VivaldiConvergeTicks) {
+		t.Fatalf("first sample at tick %v", s.X[0])
+	}
+	for k, y := range s.Y {
+		if math.IsNaN(y) {
+			t.Fatalf("NaN at sample %d", k)
+		}
+	}
+}
+
+// TestRunDedup asserts that identical RunSpecs across series simulate
+// once: two series over the same run produce identical curves (they read
+// the same outcome).
+func TestRunDedup(t *testing.T) {
+	r := RunSpec{Frac: 0.3, Attack: AttackSpec{Kind: AttackDisorder}}
+	sp := timeSpec(SystemVivaldi, OutMeanVsTime, run1("a", r), run1("b", r))
+	res, err := RunScenario(sp, testScale, NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Series[0].Y, res.Series[1].Y) {
+		t.Fatal("identical runs produced different series")
+	}
+}
+
+func TestInvalidSpecsRejected(t *testing.T) {
+	if err := (ScenarioSpec{Name: "x", System: "bogus", Series: []SeriesSpec{run1("a", RunSpec{})}}).Validate(); err == nil {
+		t.Error("bogus system accepted")
+	}
+	if err := (ScenarioSpec{Name: "x", System: SystemVivaldi}).Validate(); err == nil {
+		t.Error("empty series accepted")
+	}
+	two := SeriesSpec{Label: "a", Runs: []RunSpec{{}, {Frac: 0.1}}}
+	if err := (ScenarioSpec{Name: "x", System: SystemVivaldi, Output: OutRatioVsTime, Series: []SeriesSpec{two}}).Validate(); err == nil {
+		t.Error("multi-run time series accepted")
+	}
+	sp := timeSpec(SystemVivaldi, OutMeanVsTime, run1("a", RunSpec{Frac: 0.2, Attack: AttackSpec{Kind: AttackColludingIsolation}}))
+	if _, err := RunScenario(sp, testScale, NewPool(1)); err == nil {
+		t.Error("NPS-only attack on vivaldi accepted")
+	}
+}
+
+// TestStepParallelMatchesAcrossSharders is the tick-level determinism
+// contract: the same system stepped with Serial and with an 8-worker pool
+// produces identical coordinates, including under attack taps.
+func TestStepParallelMatchesAcrossSharders(t *testing.T) {
+	sc := testScale
+	m := BaseMatrix(sc)
+
+	build := func() CoordSystem {
+		cs := NewVivaldi(m, vivaldi.Config{}, 99)
+		mal := []int{3, 7, 11, 19}
+		if _, err := cs.Inject(AttackSpec{Kind: AttackColludeRepel}, mal, 99); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	a, b := build(), build()
+	serial := Serial{}
+	pool := NewPool(8)
+	for tick := 0; tick < 60; tick++ {
+		a.Step(serial)
+		b.Step(pool)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("vivaldi parallel step diverges across sharders")
+	}
+
+	buildNPS := func() CoordSystem {
+		cs := NewNPS(m, nps.Config{Security: true, ProbeThresholdMS: 5000, SolveIterations: 120}, 7)
+		var mal []int
+		for i := 0; i < cs.Size() && len(mal) < 8; i++ {
+			if cs.EligibleAttacker(i) {
+				mal = append(mal, i)
+			}
+		}
+		if _, err := cs.Inject(AttackSpec{Kind: AttackDisorder}, mal, 7); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	na, nb := buildNPS(), buildNPS()
+	for round := 0; round < 3; round++ {
+		na.Step(serial)
+		nb.Step(pool)
+	}
+	if !reflect.DeepEqual(na.Snapshot(), nb.Snapshot()) {
+		t.Fatal("nps parallel step diverges across sharders")
+	}
+	fa := na.(FilterStatser).FilterStats()
+	fb := nb.(FilterStatser).FilterStats()
+	if fa != fb {
+		t.Fatalf("nps filter stats diverge: %+v vs %+v", fa, fb)
+	}
+}
+
+// TestMeasureSharded cross-checks the sharded measurement pass against the
+// plain metrics implementation.
+func TestMeasureSharded(t *testing.T) {
+	m := BaseMatrix(testScale)
+	cs := NewVivaldi(m, vivaldi.Config{}, 5)
+	for i := 0; i < 50; i++ {
+		cs.Step(Serial{})
+	}
+	peers := metrics.PeerSets(m.Size(), 8, 1)
+	want := cs.Measure(peers, nil, Serial{})
+	got := cs.Measure(peers, nil, NewPool(8))
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("sharded measurement diverges")
+	}
+}

@@ -1,0 +1,188 @@
+// Package engine is the unified parallel scenario engine: one CoordSystem
+// interface over the simulated coordinate systems (Vivaldi, NPS), a
+// worker-pool executor that shards per-tick node updates across goroutines,
+// and a declarative scenario registry that the experiment layer drives
+// every paper figure through.
+//
+// Determinism is the engine's core contract: the shard decomposition of any
+// index range is a pure function of the range length (never of the worker
+// count), every shard owns disjoint state, randomness comes from per-node
+// or per-shard streams derived via internal/randx, and the few operations
+// that touch shared mutable state (attack taps, conspiracy caches) run in a
+// fixed serial order. A fixed seed therefore yields bit-identical data
+// series whether a scenario runs on one worker or sixteen.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// shardSize is the number of consecutive indices per shard. It is a
+// constant — NOT derived from the worker count — so that per-shard RNG
+// streams and per-shard accumulators are identical however many workers
+// execute the shards.
+const shardSize = 32
+
+// NumShards returns the shard count for an index range of length n. It is
+// a pure function of n: the same range always decomposes the same way.
+func NumShards(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + shardSize - 1) / shardSize
+}
+
+// ShardBounds returns the [lo, hi) index range of one shard.
+func ShardBounds(shard, n int) (lo, hi int) {
+	lo = shard * shardSize
+	hi = lo + shardSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Sharder executes a function over the fixed shard decomposition of an
+// index range. The simulation packages (vivaldi, nps) accept a Sharder so
+// they need not depend on the engine's pool implementation; Serial is the
+// trivial single-goroutine implementation.
+type Sharder interface {
+	// ForEach calls fn(shard, lo, hi) for every shard of [0, n), possibly
+	// concurrently. fn must confine its writes to shard-owned state.
+	ForEach(n int, fn func(shard, lo, hi int))
+	// NumShards reports how many shards ForEach(n, ...) visits. It must be
+	// a pure function of n so callers can size per-shard accumulators.
+	NumShards(n int) int
+}
+
+// Serial is the Sharder that runs every shard inline on the calling
+// goroutine, in shard order.
+type Serial struct{}
+
+// ForEach implements Sharder.
+func (Serial) ForEach(n int, fn func(shard, lo, hi int)) {
+	for s, k := 0, NumShards(n); s < k; s++ {
+		lo, hi := ShardBounds(s, n)
+		fn(s, lo, hi)
+	}
+}
+
+// NumShards implements Sharder.
+func (Serial) NumShards(n int) int { return NumShards(n) }
+
+// Pool is a bounded worker pool implementing Sharder. The zero worker
+// count resolves to GOMAXPROCS. A Pool carries no per-call state and is
+// safe for concurrent use by independent units.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width; workers <= 0 means
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// NumShards implements Sharder.
+func (p *Pool) NumShards(n int) int { return NumShards(n) }
+
+// ForEach implements Sharder: shards are claimed from an atomic counter by
+// min(workers, shards) goroutines. With one worker (or one shard) it runs
+// inline with no goroutine or synchronization overhead, which keeps tiny
+// populations fast.
+func (p *Pool) ForEach(n int, fn func(shard, lo, hi int)) {
+	shards := NumShards(n)
+	if shards == 0 {
+		return
+	}
+	if p.workers == 1 || shards == 1 {
+		Serial{}.ForEach(n, fn)
+		return
+	}
+	workers := p.workers
+	if workers > shards {
+		workers = shards
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				lo, hi := ShardBounds(s, n)
+				fn(s, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunUnits executes fn(0), ..., fn(n-1), each exactly once, across
+// min(Workers, n) goroutines. Units must confine their writes to
+// unit-owned state (typically slot u of a results slice); callers reduce
+// in index order, which keeps outcomes independent of the worker count.
+func (p *Pool) RunUnits(n int, fn func(u int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			fn(u)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				fn(u)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Split divides the pool between nUnits independent units running
+// concurrently (via RunUnits, which caps the unit lane at the same
+// min(Workers, nUnits)): it returns the pool each unit should use for its
+// own sharded work. Lane width times per-unit width never exceeds the pool
+// width, and the decomposition does not affect results — only wall-clock
+// time.
+func (p *Pool) Split(nUnits int) *Pool {
+	if nUnits < 1 {
+		nUnits = 1
+	}
+	unitWorkers := p.workers
+	if unitWorkers > nUnits {
+		unitWorkers = nUnits
+	}
+	inner := p.workers / unitWorkers
+	if inner < 1 {
+		inner = 1
+	}
+	return NewPool(inner)
+}

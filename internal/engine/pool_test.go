@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardDecompositionPure(t *testing.T) {
+	for _, n := range []int{0, 1, shardSize - 1, shardSize, shardSize + 1, 1000, 1740} {
+		k := NumShards(n)
+		covered := 0
+		prevHi := 0
+		for s := 0; s < k; s++ {
+			lo, hi := ShardBounds(s, n)
+			if lo != prevHi {
+				t.Fatalf("n=%d shard %d: lo=%d, want %d", n, s, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d shard %d: empty range [%d,%d)", n, s, lo, hi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != n {
+			t.Fatalf("n=%d: shards cover %d indices", n, covered)
+		}
+	}
+}
+
+func TestPoolForEachCoversOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		p := NewPool(workers)
+		const n = 500
+		var mu sync.Mutex
+		seen := make([]int, n)
+		p.ForEach(n, func(shard, lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolShardIndicesMatchBounds(t *testing.T) {
+	p := NewPool(4)
+	const n = 333
+	var mu sync.Mutex
+	got := map[int][2]int{}
+	p.ForEach(n, func(shard, lo, hi int) {
+		mu.Lock()
+		got[shard] = [2]int{lo, hi}
+		mu.Unlock()
+	})
+	if len(got) != NumShards(n) {
+		t.Fatalf("visited %d shards, want %d", len(got), NumShards(n))
+	}
+	for s, b := range got {
+		lo, hi := ShardBounds(s, n)
+		if b != [2]int{lo, hi} {
+			t.Fatalf("shard %d bounds %v, want [%d,%d)", s, b, lo, hi)
+		}
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("zero-width pool")
+	}
+	if NewPool(-3).Workers() < 1 {
+		t.Fatal("negative-width pool")
+	}
+}
+
+func TestPoolSplit(t *testing.T) {
+	p := NewPool(8)
+	// RunUnits caps the unit lane at min(workers, nUnits); Split's
+	// per-unit width times that lane must never oversubscribe the pool.
+	if inner := p.Split(3); 3*inner.Workers() > p.Workers() {
+		t.Fatalf("split(3) oversubscribes: 3 units × %d workers > %d", inner.Workers(), p.Workers())
+	}
+	if inner := p.Split(20); inner.Workers() != 1 {
+		t.Fatalf("split(20) per-unit workers %d, want 1", inner.Workers())
+	}
+	if inner := p.Split(1); inner.Workers() != 8 {
+		t.Fatalf("split(1) per-unit workers %d, want 8", inner.Workers())
+	}
+}

@@ -1,0 +1,462 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/coordspace"
+	"repro/internal/core"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/nps"
+	"repro/internal/randx"
+	"repro/internal/vivaldi"
+)
+
+// npsProbeThresholdMS is the paper's probe threshold (§3.1), applied to
+// every NPS deployment the scenarios build (the Security flag controls the
+// filter; the threshold models measurement hygiene both ways).
+const npsProbeThresholdMS = 5000
+
+// randomScale is the coordinate radius of the paper's random baseline
+// (§5.1).
+const randomScale = 50000
+
+// unitResult is the outcome of one repetition of one RunSpec.
+type unitResult struct {
+	ticks     []int     // absolute sample positions
+	meanErr   []float64 // mean honest error per sample
+	ratio     []float64 // meanErr / this rep's clean reference
+	targetErr []float64 // tracked target's own error per sample
+
+	cleanRef  float64 // converged error at injection time (NaN for genesis)
+	finalMean float64 // mean honest error at the last sample
+	randomRef float64 // random-coordinate baseline (rep 0 only)
+
+	finals        []float64 // final per-node errors, honest nodes
+	deepestFinals []float64 // of which: members of the deepest layer
+	victimFinals  []float64 // of which: designated colluding victims
+
+	filter nps.FilterStats // security-filter decisions, attack phase only
+
+	err error
+}
+
+// runOutcome aggregates one RunSpec over its repetitions.
+type runOutcome struct {
+	ticks     []int
+	meanErr   []float64
+	ratio     []float64
+	targetErr []float64
+
+	cleanRef  float64
+	finalMean float64
+	randomRef float64
+
+	finals        []float64
+	deepestFinals []float64
+	victimFinals  []float64
+
+	filter nps.FilterStats
+}
+
+// RunScenario executes a registered scenario at the given scale on the
+// pool and reduces the outcomes to figure series.
+//
+// Execution plan: the scenario's series expand to their distinct RunSpecs
+// (identical specs dedupe, so a clean reference shared by several series
+// simulates once); every (run, repetition) pair is an independent unit
+// with seeds derived from the scale's root seed; units execute across the
+// pool, each running its system through the sharded tick loop. Results
+// are bit-identical for any worker count: units write disjoint slots and
+// are reduced in declaration order, and everything inside a unit is
+// deterministic by the engine's sharding contract.
+func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	if spec.Custom != nil {
+		res := spec.Custom(sc, pool)
+		// Custom runners produce the data; identity and axis labels come
+		// from the spec, like every declarative scenario.
+		res.ID = spec.Name
+		res.Title = spec.Title
+		if res.XLabel == "" {
+			res.XLabel = spec.XLabel
+		}
+		if res.YLabel == "" {
+			res.YLabel = spec.YLabel
+		}
+		return res, nil
+	}
+
+	// Expand series into distinct runs, in first-seen order.
+	var order []RunSpec
+	index := map[RunSpec]int{}
+	for _, s := range spec.Series {
+		for _, r := range s.Runs {
+			if _, ok := index[r]; !ok {
+				index[r] = len(order)
+				order = append(order, r)
+			}
+		}
+	}
+	reps := sc.Reps
+	if reps < 1 {
+		reps = 1
+	}
+
+	// One unit per (run, repetition); run-major layout.
+	type job struct{ run, rep int }
+	jobs := make([]job, 0, len(order)*reps)
+	for ri := range order {
+		for rep := 0; rep < reps; rep++ {
+			jobs = append(jobs, job{ri, rep})
+		}
+	}
+	units := make([]unitResult, len(jobs))
+	// Divide the pool between the unit lane and each unit's tick loop:
+	// one unit gets the full width for its shards, many units split it.
+	tickPool := pool.Split(len(jobs))
+	pool.RunUnits(len(jobs), func(k int) {
+		j := jobs[k]
+		units[k] = runUnit(spec.System, order[j.run], sc, j.rep, tickPool)
+	})
+	for _, u := range units {
+		if u.err != nil {
+			return nil, fmt.Errorf("engine: scenario %s: %w", spec.Name, u.err)
+		}
+	}
+
+	outs := make([]runOutcome, len(order))
+	for ri := range order {
+		outs[ri] = aggregate(units[ri*reps : (ri+1)*reps])
+	}
+
+	// Reduce to figure series.
+	res := &Result{ID: spec.Name, Title: spec.Title, XLabel: spec.XLabel, YLabel: spec.YLabel}
+	for _, s := range spec.Series {
+		switch spec.Output {
+		case OutRatioVsTime, OutMeanVsTime, OutTargetVsTime:
+			o := &outs[index[s.Runs[0]]]
+			ser := Series{Label: s.Label}
+			for k, tick := range o.ticks {
+				switch spec.Output {
+				case OutRatioVsTime:
+					ser.Add(float64(tick), o.ratio[k])
+				case OutMeanVsTime:
+					ser.Add(float64(tick), o.meanErr[k])
+				case OutTargetVsTime:
+					ser.Add(float64(tick), o.targetErr[k])
+				}
+			}
+			res.Series = append(res.Series, ser)
+			noteRun(res, spec, s.Label, o)
+
+		case OutFinalCDF:
+			o := &outs[index[s.Runs[0]]]
+			vals := o.finals
+			switch s.Select {
+			case SelectDeepestLayer:
+				vals = o.deepestFinals
+			case SelectVictims:
+				vals = o.victimFinals
+			}
+			res.Series = append(res.Series, cdfSeries(s.Label, vals))
+			noteRun(res, spec, s.Label, o)
+
+		case OutFinalVsX, OutRatioVsX, OutFilterRatioVsX:
+			ser := Series{Label: s.Label}
+			for _, r := range s.Runs {
+				o := &outs[index[r]]
+				switch spec.Output {
+				case OutFinalVsX:
+					ser.Add(r.XValue(sc), o.finalMean)
+				case OutRatioVsX:
+					ser.Add(r.XValue(sc), o.ratio[len(o.ratio)-1])
+				case OutFilterRatioVsX:
+					ser.Add(r.XValue(sc), o.filter.Ratio())
+				}
+			}
+			res.Series = append(res.Series, ser)
+			// One note per sweep point: the reference values behind each
+			// plotted y (clean error, random baseline, filter counts) are
+			// part of the reproducible record.
+			for _, r := range s.Runs {
+				noteRun(res, spec, fmt.Sprintf("%s x=%g", s.Label, r.XValue(sc)), &outs[index[r]])
+			}
+		}
+	}
+	return res, nil
+}
+
+// noteRun records a series' reference values: clean converged error,
+// final error, random baseline, and (for filtering systems) the filter's
+// decisions.
+func noteRun(res *Result, spec ScenarioSpec, label string, o *runOutcome) {
+	clean := "n/a" // genesis runs have no converged clean reference
+	if !math.IsNaN(o.cleanRef) {
+		clean = fmt.Sprintf("%.3f", o.cleanRef)
+	}
+	note := fmt.Sprintf("%s: clean=%s final=%.3f random=%.1f", label, clean, o.finalMean, o.randomRef)
+	if spec.System == SystemNPS {
+		note += fmt.Sprintf(" filtered(mal/total)=%d/%d", o.filter.Malicious, o.filter.Total)
+	}
+	res.Notes = append(res.Notes, note)
+}
+
+// cdfSeries renders a value sample as a 60-point CDF curve.
+func cdfSeries(label string, values []float64) Series {
+	s := Series{Label: label}
+	for _, pt := range metrics.NewCDF(values).Points(60) {
+		s.Add(pt[0], pt[1])
+	}
+	return s
+}
+
+// aggregate folds one run's repetitions together: series are averaged
+// point-wise, final-error populations concatenate, filter counters sum.
+func aggregate(us []unitResult) runOutcome {
+	n := len(us)
+	o := runOutcome{
+		ticks:     us[0].ticks,
+		meanErr:   make([]float64, len(us[0].meanErr)),
+		ratio:     make([]float64, len(us[0].ratio)),
+		targetErr: make([]float64, len(us[0].targetErr)),
+		randomRef: us[0].randomRef,
+	}
+	for _, u := range us {
+		for k := range u.meanErr {
+			o.meanErr[k] += u.meanErr[k] / float64(n)
+			o.ratio[k] += u.ratio[k] / float64(n)
+			o.targetErr[k] += u.targetErr[k] / float64(n)
+		}
+		o.cleanRef += u.cleanRef / float64(n)
+		o.finalMean += u.finalMean / float64(n)
+		o.finals = append(o.finals, u.finals...)
+		o.deepestFinals = append(o.deepestFinals, u.deepestFinals...)
+		o.victimFinals = append(o.victimFinals, u.victimFinals...)
+		o.filter.Total += u.filter.Total
+		o.filter.Malicious += u.filter.Malicious
+	}
+	return o
+}
+
+// buildSystem constructs the unit's coordinate system per the run spec.
+func buildSystem(kind SystemKind, r RunSpec, sc Scale, m *latency.Matrix, seed int64) (CoordSystem, error) {
+	switch kind {
+	case SystemVivaldi:
+		var space coordspace.Space
+		if r.Dims > 0 {
+			if r.Height {
+				space = coordspace.EuclideanHeight(r.Dims)
+			} else {
+				space = coordspace.Euclidean(r.Dims)
+			}
+		}
+		return NewVivaldi(m, vivaldi.Config{Space: space}, seed), nil
+	case SystemNPS:
+		cfg := nps.Config{
+			Security:         r.Security,
+			ProbeThresholdMS: npsProbeThresholdMS,
+			Layers:           r.Layers,
+			SolveIterations:  sc.NPSSolveIterations,
+		}
+		if r.Dims > 0 {
+			cfg.Space = coordspace.Euclidean(r.Dims)
+		}
+		return NewNPS(m, cfg, seed), nil
+	}
+	return nil, fmt.Errorf("engine: unknown system %q", kind)
+}
+
+// runUnit executes one repetition of one RunSpec: build, converge, inject,
+// keep running, measure. All randomness derives from the scale's root
+// seed, the run's population and the repetition index.
+func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult {
+	nodes := r.ResolveNodes(sc)
+	var m *latency.Matrix
+	switch {
+	case nodes == sc.Nodes:
+		m = BaseMatrix(sc)
+	case nodes < sc.Nodes:
+		m = SubgroupMatrix(sc, nodes)
+	default:
+		// Larger-than-paper population: generate a fresh Internet at the
+		// requested size (cached under its own size key).
+		bigger := sc
+		bigger.Nodes = nodes
+		m = BaseMatrix(bigger)
+	}
+	peers := metrics.PeerSets(m.Size(), sc.EvalPeers, randx.DeriveSeed(sc.Seed, "eval-peers", nodes))
+	repSeed := randx.DeriveSeed(sc.Seed, string(kind)+"-rep", rep)
+
+	cs, err := buildSystem(kind, r, sc, m, repSeed)
+	if err != nil {
+		return unitResult{err: err}
+	}
+
+	// Pacing: Vivaldi ticks vs NPS positioning rounds.
+	converge, attack, every := sc.VivaldiConvergeTicks, sc.VivaldiAttackTicks, sc.MeasureEvery
+	if kind == SystemNPS {
+		converge, attack, every = sc.NPSConvergeRounds, sc.NPSAttackRounds, 1
+	}
+	injectAt := converge
+	start := converge
+	if r.Genesis {
+		injectAt = 0
+	}
+	if r.Genesis || r.MeasureFromStart {
+		start = 0
+	}
+	total := converge + attack
+
+	exclude := func(i int) bool {
+		if !cs.EligibleAttacker(i) {
+			return true
+		}
+		return r.ExcludeTarget && i == r.Attack.Target
+	}
+	malicious := core.SelectMalicious(cs.Size(), r.Frac, exclude, repSeed)
+	malSet := core.MemberSet(malicious)
+
+	u := unitResult{cleanRef: math.NaN()}
+	var inj *Injection
+	injected := false
+	// The honest set excludes the drawn attackers from the first sample
+	// on, even before their taps install: a series that samples across
+	// the injection point (extB) must average the same population
+	// throughout, or the comparison carries a measured-population
+	// discontinuity at the injection tick.
+	honest := func(i int) bool {
+		return cs.Evaluable(i) && !malSet[i]
+	}
+
+	cur := 0
+	advanceTo := func(p int) error {
+		if !injected && p >= injectAt {
+			for cur < injectAt {
+				cs.Step(tp)
+				cur++
+			}
+			if !r.Genesis {
+				// The clean reference: converged accuracy at injection
+				// time, before any tap is installed.
+				u.cleanRef = metrics.Mean(cs.Measure(peers, cs.Evaluable, tp))
+			}
+			var err error
+			if inj, err = cs.Inject(r.Attack, malicious, repSeed); err != nil {
+				return err
+			}
+			if fs, ok := cs.(FilterStatser); ok {
+				fs.ResetFilterStats() // count filter decisions during the attack only
+			}
+			injected = true
+		}
+		for cur < p {
+			cs.Step(tp)
+			cur++
+		}
+		return nil
+	}
+
+	if rep == 0 {
+		u.randomRef = metrics.RandomBaseline(m, cs.Space(), peers, randomScale, randx.DeriveSeed(sc.Seed, "random-ref", nodes))
+	}
+
+	churnSeed := randx.DeriveSeed(repSeed, "churn", 0)
+	sampleIdx := 0
+	var errs []float64
+	for p := start; p <= total; p += every {
+		if err := advanceTo(p); err != nil {
+			return unitResult{err: err}
+		}
+		if r.ChurnFrac > 0 && injected && p > injectAt {
+			applyChurn(cs, r.ChurnFrac, churnSeed, sampleIdx, tp, malSet)
+		}
+		errs = cs.Measure(peers, honest, tp)
+		mean := metrics.Mean(errs)
+		u.ticks = append(u.ticks, p)
+		u.meanErr = append(u.meanErr, mean)
+		u.ratio = append(u.ratio, metrics.Ratio(mean, u.cleanRef))
+		if r.TrackTarget {
+			te := errs[r.Attack.Target]
+			if math.IsNaN(te) {
+				te = singleNodeError(cs, peers, r.Attack.Target)
+			}
+			u.targetErr = append(u.targetErr, te)
+		} else {
+			u.targetErr = append(u.targetErr, math.NaN())
+		}
+		sampleIdx++
+	}
+
+	// Final per-node populations, from the last sample's measurement.
+	u.finalMean = metrics.Mean(errs)
+	deepest := -1
+	lay, layered := cs.(Layered)
+	if layered {
+		deepest = lay.Layers() - 1
+	}
+	for i, e := range errs {
+		if math.IsNaN(e) {
+			continue
+		}
+		u.finals = append(u.finals, e)
+		if layered && lay.Layer(i) == deepest {
+			u.deepestFinals = append(u.deepestFinals, e)
+		}
+		if inj != nil && inj.Victims[i] {
+			u.victimFinals = append(u.victimFinals, e)
+		}
+	}
+	if fs, ok := cs.(FilterStatser); ok && injected {
+		u.filter = fs.FilterStats()
+	}
+	return u
+}
+
+// applyChurn replaces a Bernoulli(frac) draw of the honest population with
+// fresh joins, sharded with per-shard RNG streams: shard s of sample k
+// always uses the same stream, so churn is bit-identical for any worker
+// count.
+func applyChurn(cs CoordSystem, frac float64, seed int64, sampleIdx int, sh Sharder, malSet map[int]bool) {
+	ch, ok := cs.(Churner)
+	if !ok {
+		return
+	}
+	n := cs.Size()
+	nShards := sh.NumShards(n)
+	sh.ForEach(n, func(shard, lo, hi int) {
+		rng := randx.NewDerived(seed, "churn-shard", sampleIdx*nShards+shard)
+		for i := lo; i < hi; i++ {
+			if !malSet[i] && randx.Bernoulli(rng, frac) {
+				ch.ResetNode(i)
+			}
+		}
+	})
+}
+
+// singleNodeError recomputes one node's error directly (the tracked target
+// may be outside the measured population in rare configurations).
+func singleNodeError(cs CoordSystem, peers [][]int, node int) float64 {
+	m := cs.Matrix()
+	space := cs.Space()
+	coords := cs.Snapshot()
+	sum, cnt := 0.0, 0
+	for _, j := range peers[node] {
+		actual := m.RTT(node, j)
+		if actual <= 0 {
+			continue
+		}
+		sum += metrics.RelativeError(actual, space.Dist(coords[node], coords[j]))
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/latency"
+	"repro/internal/randx"
+)
+
+// Scale sizes a scenario run. The paper's full-scale settings are
+// expensive (1740 nodes, 10 repetitions, 5000 ticks); Quick keeps every
+// scenario's *shape* while fitting in seconds, and Bench is the minimal
+// scale the test suite and benchmarks use.
+type Scale struct {
+	Name string
+
+	Nodes int   // population size (paper: 1740)
+	Reps  int   // repetitions with fresh attacker selection (paper: 10)
+	Seed  int64 // root seed; everything derives from it
+
+	// Vivaldi pacing (in ticks; 1 tick ≈ 17 s of virtual time).
+	VivaldiConvergeTicks int // clean run before injection (paper: 1800)
+	VivaldiAttackTicks   int // run after injection (paper: ~3200, to tick 5000)
+	MeasureEvery         int // ticks between series samples
+
+	// NPS pacing (in positioning rounds).
+	NPSConvergeRounds int
+	NPSAttackRounds   int
+
+	// Measurement.
+	EvalPeers int // evaluation peers per node (0 = all pairs)
+
+	// NPS solver cap (see nps.Config.SolveIterations).
+	NPSSolveIterations int
+}
+
+// Bench is the minimal scale used by the repository's benchmarks and fast
+// tests: one repetition at small size, preserving every scenario's
+// structure (sweeps, attack mechanics, measurement) but not its
+// statistical smoothness.
+var Bench = Scale{
+	Name:                 "bench",
+	Nodes:                90,
+	Reps:                 1,
+	Seed:                 7,
+	VivaldiConvergeTicks: 500,
+	VivaldiAttackTicks:   500,
+	MeasureEvery:         100,
+	NPSConvergeRounds:    3,
+	NPSAttackRounds:      3,
+	EvalPeers:            24,
+	NPSSolveIterations:   300,
+}
+
+// Quick is the scaled-down preset used by default.
+var Quick = Scale{
+	Name:                 "quick",
+	Nodes:                220,
+	Reps:                 2,
+	Seed:                 42,
+	VivaldiConvergeTicks: 700,
+	VivaldiAttackTicks:   900,
+	MeasureEvery:         100,
+	NPSConvergeRounds:    4,
+	NPSAttackRounds:      6,
+	EvalPeers:            32,
+	NPSSolveIterations:   400,
+}
+
+// Standard trades a few minutes per figure for smoother curves.
+var Standard = Scale{
+	Name:                 "standard",
+	Nodes:                700,
+	Reps:                 3,
+	Seed:                 42,
+	VivaldiConvergeTicks: 1500,
+	VivaldiAttackTicks:   2000,
+	MeasureEvery:         125,
+	NPSConvergeRounds:    6,
+	NPSAttackRounds:      10,
+	EvalPeers:            48,
+	NPSSolveIterations:   600,
+}
+
+// Full is the paper's scale. Expect hours for the complete figure set.
+var Full = Scale{
+	Name:                 "full",
+	Nodes:                1740,
+	Reps:                 10,
+	Seed:                 42,
+	VivaldiConvergeTicks: 1800,
+	VivaldiAttackTicks:   3200,
+	MeasureEvery:         200,
+	NPSConvergeRounds:    8,
+	NPSAttackRounds:      14,
+	EvalPeers:            64,
+	NPSSolveIterations:   800,
+}
+
+// ScaleByName resolves "bench", "quick", "standard" or "full"; empty means
+// quick.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "", "quick":
+		return Quick, nil
+	case "bench":
+		return Bench, nil
+	case "standard":
+		return Standard, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("engine: unknown scale %q (want bench, quick, standard or full)", name)
+}
+
+// matrixCache shares the synthetic Internet across scenarios of a run: the
+// paper uses the *same* King dataset everywhere, with only the attacker
+// draw varying between repetitions. Concurrent units of a parallel
+// scenario run share it through the mutex.
+var (
+	matrixMu    sync.Mutex
+	matrixCache = map[string]*latency.Matrix{}
+)
+
+// BaseMatrix returns the scale's full-population latency matrix.
+func BaseMatrix(s Scale) *latency.Matrix {
+	key := fmt.Sprintf("%d/%d", s.Nodes, s.Seed)
+	matrixMu.Lock()
+	defer matrixMu.Unlock()
+	if m, ok := matrixCache[key]; ok {
+		return m
+	}
+	m := latency.GenerateKingLike(latency.DefaultKingLike(s.Nodes), randx.DeriveSeed(s.Seed, "matrix", s.Nodes))
+	matrixCache[key] = m
+	return m
+}
+
+// SubgroupMatrix returns a deterministic k-node subgroup of the scale's
+// matrix (the paper's system-size sweeps, §5.2).
+func SubgroupMatrix(s Scale, k int) *latency.Matrix {
+	if k >= s.Nodes {
+		return BaseMatrix(s)
+	}
+	base := BaseMatrix(s)
+	key := fmt.Sprintf("%d/%d/sub%d", s.Nodes, s.Seed, k)
+	matrixMu.Lock()
+	defer matrixMu.Unlock()
+	if m, ok := matrixCache[key]; ok {
+		return m
+	}
+	sub, _ := latency.RandomSubgroup(base, k, randx.DeriveSeed(s.Seed, "subgroup", k))
+	matrixCache[key] = sub
+	return sub
+}

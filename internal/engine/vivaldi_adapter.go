@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/coordspace"
+	"repro/internal/core"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/vivaldi"
+)
+
+// vivaldiAdapter implements CoordSystem over a simulated Vivaldi
+// population.
+type vivaldiAdapter struct {
+	sys *vivaldi.System
+}
+
+// NewVivaldi wraps a fresh Vivaldi population over m in the engine
+// interface.
+func NewVivaldi(m *latency.Matrix, cfg vivaldi.Config, seed int64) CoordSystem {
+	return &vivaldiAdapter{sys: vivaldi.NewSystem(m, cfg, seed)}
+}
+
+func (a *vivaldiAdapter) Kind() SystemKind            { return SystemVivaldi }
+func (a *vivaldiAdapter) Size() int                   { return a.sys.Size() }
+func (a *vivaldiAdapter) Space() coordspace.Space     { return a.sys.Space() }
+func (a *vivaldiAdapter) Matrix() *latency.Matrix     { return a.sys.Matrix() }
+func (a *vivaldiAdapter) Step(sh Sharder)             { a.sys.StepParallel(sh) }
+func (a *vivaldiAdapter) EligibleAttacker(i int) bool { return true }
+func (a *vivaldiAdapter) Evaluable(i int) bool        { return true }
+func (a *vivaldiAdapter) ResetNode(i int)             { a.sys.ResetNode(i) }
+
+func (a *vivaldiAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
+
+func (a *vivaldiAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder) []float64 {
+	return measure(a.sys.Matrix(), a.sys.Space(), a.Snapshot(), peers, include, sh)
+}
+
+func (a *vivaldiAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {
+	sys := a.sys
+	inj := &Injection{Malicious: malicious, MalSet: core.MemberSet(malicious), Target: -1}
+	switch spec.Kind {
+	case AttackNone:
+		return inj, nil
+
+	case AttackDisorder:
+		for _, id := range malicious {
+			sys.SetTap(id, core.NewVivaldiDisorder(id, seed))
+		}
+
+	case AttackRepulsion:
+		if spec.SubsetFrac > 0 {
+			// Each attacker victimizes its own independently drawn subset
+			// (fig. 7).
+			k := int(spec.SubsetFrac * float64(sys.Size()))
+			if k < 1 {
+				k = 1
+			}
+			for _, id := range malicious {
+				rng := randx.NewDerived(seed, "subset-victims", id)
+				victims := make(map[int]bool, k)
+				for _, v := range randx.Sample(rng, sys.Size(), k) {
+					victims[v] = true
+				}
+				sys.SetTap(id, core.NewVivaldiRepulsion(id, sys.Space(), repulsionScale, victims, seed))
+			}
+		} else {
+			for _, id := range malicious {
+				sys.SetTap(id, core.NewVivaldiRepulsion(id, sys.Space(), repulsionScale, nil, seed))
+			}
+		}
+
+	case AttackColludeRepel:
+		c := core.NewConspiracy(spec.Target, sys.Space(), repulsionScale, lureClusterNorm, seed)
+		for _, id := range malicious {
+			sys.SetTap(id, core.NewVivaldiColludeRepel(id, c, seed))
+		}
+		inj.Target = spec.Target
+
+	case AttackColludeLure:
+		c := core.NewConspiracy(spec.Target, sys.Space(), repulsionScale, lureClusterNorm, seed)
+		for _, id := range malicious {
+			sys.SetTap(id, core.NewVivaldiColludeLure(id, c, sys.Space(), seed))
+		}
+		inj.Target = spec.Target
+
+	case AttackCombined:
+		// Split evenly between disorder, repulsion and colluding isolation
+		// strategy 1 (§5.3.4).
+		groups := core.SplitEvenly(malicious, 3)
+		c := core.NewConspiracy(spec.Target, sys.Space(), repulsionScale, lureClusterNorm, seed)
+		for _, id := range groups[0] {
+			sys.SetTap(id, core.NewVivaldiDisorder(id, seed))
+		}
+		for _, id := range groups[1] {
+			sys.SetTap(id, core.NewVivaldiRepulsion(id, sys.Space(), repulsionScale, nil, seed))
+		}
+		for _, id := range groups[2] {
+			sys.SetTap(id, core.NewVivaldiColludeRepel(id, c, seed))
+		}
+		inj.Target = spec.Target
+
+	default:
+		return nil, fmt.Errorf("engine: attack %q is not applicable to vivaldi", spec.Kind)
+	}
+	return inj, nil
+}
+
+// measure is the shared sharded measurement pass: per-node mean relative
+// error against the true matrix over fixed peer sets.
+func measure(m *latency.Matrix, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool, sh Sharder) []float64 {
+	out := make([]float64, len(coords))
+	sh.ForEach(len(coords), func(_, lo, hi int) {
+		metrics.NodeErrorsRange(m, space, coords, peers, include, lo, hi, out)
+	})
+	return out
+}

@@ -1,7 +1,10 @@
 // Package experiment regenerates every figure of the paper's evaluation
-// (§5). Each figure is a registered scenario — workload, parameter sweep,
-// attack and measurement — that can be run at different scale presets and
-// produces labelled data series.
+// (§5). Each figure is a declarative engine.ScenarioSpec — workload,
+// parameter sweep, attack mix and measurement — registered with the
+// unified scenario engine (internal/engine) and runnable at different
+// scale presets on any number of workers. This package defines the specs
+// (specs.go, figs_ext.go) and bridges the engine registry into the
+// repository's public experiment API.
 //
 // Figure 17 of the paper is a geometry diagram, not an experiment; there is
 // deliberately no "fig17" here (its construction is implemented and tested
@@ -9,233 +12,105 @@
 package experiment
 
 import (
-	"fmt"
-	"sort"
-	"sync"
-
+	"repro/internal/engine"
 	"repro/internal/latency"
-	"repro/internal/randx"
 )
 
-// Preset scales an experiment. The paper's full-scale settings are
-// expensive (1740 nodes, 10 repetitions, 5000 ticks); Quick keeps every
-// scenario's *shape* while fitting in seconds, and is what the test suite
-// and benchmarks use.
-type Preset struct {
-	Name string
+// Preset scales an experiment; it is the engine's Scale type. The paper's
+// full-scale settings are expensive (1740 nodes, 10 repetitions, 5000
+// ticks); Quick keeps every scenario's *shape* while fitting in seconds.
+type Preset = engine.Scale
 
-	Nodes int   // population size (paper: 1740)
-	Reps  int   // repetitions with fresh attacker selection (paper: 10)
-	Seed  int64 // root seed; everything derives from it
+// The scale presets (see internal/engine/scale.go for the values).
+var (
+	// Bench is the minimal preset used by the repository's benchmarks and
+	// fast tests.
+	Bench = engine.Bench
+	// Quick is the scaled-down preset used by default.
+	Quick = engine.Quick
+	// Standard trades a few minutes per figure for smoother curves.
+	Standard = engine.Standard
+	// Full is the paper's scale. Expect hours for the complete figure set.
+	Full = engine.Full
+)
 
-	// Vivaldi pacing (in ticks; 1 tick ≈ 17 s of virtual time).
-	VivaldiConvergeTicks int // clean run before injection (paper: 1800)
-	VivaldiAttackTicks   int // run after injection (paper: ~3200, to tick 5000)
-	MeasureEvery         int // ticks between series samples
-
-	// NPS pacing (in positioning rounds).
-	NPSConvergeRounds int
-	NPSAttackRounds   int
-
-	// Measurement.
-	EvalPeers int // evaluation peers per node (0 = all pairs)
-
-	// NPS solver cap (see nps.Config.SolveIterations).
-	NPSSolveIterations int
-}
-
-// Bench is the minimal preset used by the repository's benchmarks and
-// fast tests: one repetition at small scale, preserving every scenario's
-// structure (sweeps, attack mechanics, measurement) but not its statistical
-// smoothness.
-var Bench = Preset{
-	Name:                 "bench",
-	Nodes:                90,
-	Reps:                 1,
-	Seed:                 7,
-	VivaldiConvergeTicks: 500,
-	VivaldiAttackTicks:   500,
-	MeasureEvery:         100,
-	NPSConvergeRounds:    3,
-	NPSAttackRounds:      3,
-	EvalPeers:            24,
-	NPSSolveIterations:   300,
-}
-
-// Quick is the scaled-down preset used by tests and benchmarks.
-var Quick = Preset{
-	Name:                 "quick",
-	Nodes:                220,
-	Reps:                 2,
-	Seed:                 42,
-	VivaldiConvergeTicks: 700,
-	VivaldiAttackTicks:   900,
-	MeasureEvery:         100,
-	NPSConvergeRounds:    4,
-	NPSAttackRounds:      6,
-	EvalPeers:            32,
-	NPSSolveIterations:   400,
-}
-
-// Standard trades a few minutes per figure for smoother curves.
-var Standard = Preset{
-	Name:                 "standard",
-	Nodes:                700,
-	Reps:                 3,
-	Seed:                 42,
-	VivaldiConvergeTicks: 1500,
-	VivaldiAttackTicks:   2000,
-	MeasureEvery:         125,
-	NPSConvergeRounds:    6,
-	NPSAttackRounds:      10,
-	EvalPeers:            48,
-	NPSSolveIterations:   600,
-}
-
-// Full is the paper's scale. Expect hours for the complete figure set.
-var Full = Preset{
-	Name:                 "full",
-	Nodes:                1740,
-	Reps:                 10,
-	Seed:                 42,
-	VivaldiConvergeTicks: 1800,
-	VivaldiAttackTicks:   3200,
-	MeasureEvery:         200,
-	NPSConvergeRounds:    8,
-	NPSAttackRounds:      14,
-	EvalPeers:            64,
-	NPSSolveIterations:   800,
-}
-
-// PresetByName resolves "quick", "standard" or "full".
-func PresetByName(name string) (Preset, error) {
-	switch name {
-	case "", "quick":
-		return Quick, nil
-	case "standard":
-		return Standard, nil
-	case "full":
-		return Full, nil
-	}
-	return Preset{}, fmt.Errorf("experiment: unknown preset %q (want quick, standard or full)", name)
-}
+// PresetByName resolves "bench", "quick", "standard" or "full".
+func PresetByName(name string) (Preset, error) { return engine.ScaleByName(name) }
 
 // Series is one labelled curve of a figure.
-type Series struct {
-	Label string
-	X     []float64
-	Y     []float64
-}
-
-// Add appends a point.
-func (s *Series) Add(x, y float64) {
-	s.X = append(s.X, x)
-	s.Y = append(s.Y, y)
-}
+type Series = engine.Series
 
 // Result is the regenerated figure: labelled series plus free-form notes
 // recording reference values (clean error, random baseline, filter stats).
-type Result struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Notes  []string
-}
-
-// Notef appends a formatted note.
-func (r *Result) Notef(format string, args ...any) {
-	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
-}
+type Result = engine.Result
 
 // Runner produces a figure at a given preset.
 type Runner func(p Preset) *Result
 
-// Registration describes one reproducible figure.
+// Registration describes one reproducible figure, projected from the
+// engine's scenario registry.
 type Registration struct {
-	ID     string // "fig01" ... "fig26"
+	ID     string // "fig01" ... "fig26", "extA" ...
 	Figure string // "Figure 1"
 	Title  string
 	Run    Runner
 }
 
-var (
-	regMu    sync.Mutex
-	registry = map[string]Registration{}
-)
-
-func register(r Registration) {
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := registry[r.ID]; dup {
-		panic("experiment: duplicate registration " + r.ID)
+func wrap(sp engine.ScenarioSpec) Registration {
+	return Registration{
+		ID:     sp.Name,
+		Figure: sp.Figure,
+		Title:  sp.Title,
+		Run: func(p Preset) *Result {
+			res, err := engine.RunScenario(sp, p, nil)
+			if err != nil {
+				// Registered specs are validated at init; a run error here
+				// is a programming bug, not an input problem.
+				panic(err)
+			}
+			return res
+		},
 	}
-	registry[r.ID] = r
 }
 
 // Get looks an experiment up by ID.
 func Get(id string) (Registration, bool) {
-	regMu.Lock()
-	defer regMu.Unlock()
-	r, ok := registry[id]
-	return r, ok
+	sp, ok := engine.Get(id)
+	if !ok {
+		return Registration{}, false
+	}
+	return wrap(sp), true
 }
 
 // List returns all registrations sorted by ID.
 func List() []Registration {
-	regMu.Lock()
-	defer regMu.Unlock()
-	out := make([]Registration, 0, len(registry))
-	for _, r := range registry {
-		out = append(out, r)
+	specs := engine.List()
+	out := make([]Registration, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, wrap(sp))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// matrixCache shares the synthetic Internet across figures of a run: the
-// paper uses the *same* King dataset everywhere, with only the attacker
-// draw varying between repetitions.
-var (
-	matrixMu    sync.Mutex
-	matrixCache = map[string]*latency.Matrix{}
-)
-
-// baseMatrix returns the preset's full-population latency matrix.
-func baseMatrix(p Preset) *latency.Matrix {
-	key := fmt.Sprintf("%d/%d", p.Nodes, p.Seed)
-	matrixMu.Lock()
-	defer matrixMu.Unlock()
-	if m, ok := matrixCache[key]; ok {
-		return m
+// RunWith regenerates one figure at the preset on a worker pool of the
+// given width (0 = GOMAXPROCS). Results are bit-identical for any width.
+func RunWith(id string, p Preset, workers int) (*Result, error) {
+	sp, ok := engine.Get(id)
+	if !ok {
+		return nil, &UnknownError{ID: id}
 	}
-	m := latency.GenerateKingLike(latency.DefaultKingLike(p.Nodes), randx.DeriveSeed(p.Seed, "matrix", p.Nodes))
-	matrixCache[key] = m
-	return m
+	res, err := engine.RunScenario(sp, p, engine.NewPool(workers))
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
-// subgroupMatrix returns a deterministic k-node subgroup of the preset's
-// matrix (the paper's system-size sweeps, §5.2).
-func subgroupMatrix(p Preset, k int) *latency.Matrix {
-	if k >= p.Nodes {
-		return baseMatrix(p)
-	}
-	key := fmt.Sprintf("%d/%d/sub%d", p.Nodes, p.Seed, k)
-	matrixMu.Lock()
-	if m, ok := matrixCache[key]; ok {
-		matrixMu.Unlock()
-		return m
-	}
-	matrixMu.Unlock()
-	sub, _ := latency.RandomSubgroup(baseMatrix(p), k, randx.DeriveSeed(p.Seed, "subgroup", k))
-	matrixMu.Lock()
-	matrixCache[key] = sub
-	matrixMu.Unlock()
-	return sub
-}
+// UnknownError reports a lookup of an unregistered experiment.
+type UnknownError struct{ ID string }
 
-// percentLabel renders an attacker fraction like "30%".
-func percentLabel(frac float64) string {
-	return fmt.Sprintf("%.0f%%", frac*100)
-}
+func (e *UnknownError) Error() string { return "experiment: unknown experiment " + e.ID }
+
+// baseMatrix returns the preset's full-population latency matrix (shared
+// with the engine's cache; used by the custom extension scenarios).
+func baseMatrix(p Preset) *latency.Matrix { return engine.BaseMatrix(p) }

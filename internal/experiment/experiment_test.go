@@ -2,22 +2,26 @@ package experiment
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // tinyPreset keeps unit tests fast; it is the benchmark preset.
 var tinyPreset = Bench
 
+// paperFigures is every figure of the paper's evaluation; fig17 is a
+// diagram and must NOT be registered.
+var paperFigures = []string{
+	"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+	"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+	"fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22",
+	"fig23", "fig24", "fig25", "fig26",
+}
+
 func TestRegistryComplete(t *testing.T) {
-	// Every figure of the paper's evaluation must be registered; fig17 is
-	// a diagram and must NOT be.
-	want := []string{
-		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
-		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22",
-		"fig23", "fig24", "fig25", "fig26",
-	}
-	for _, id := range want {
+	for _, id := range paperFigures {
 		reg, ok := Get(id)
 		if !ok {
 			t.Errorf("experiment %s not registered", id)
@@ -35,8 +39,33 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("extension experiment %s not registered", ext)
 		}
 	}
-	if got := len(List()); got != len(want)+3 {
-		t.Errorf("registry has %d experiments, want %d", got, len(want)+3)
+	if got := len(List()); got != len(paperFigures)+3 {
+		t.Errorf("registry has %d experiments, want %d", got, len(paperFigures)+3)
+	}
+}
+
+// TestRegistryRunnable asserts every registered paper figure is a valid,
+// expandable scenario: the spec passes validation and every declared run
+// is constructible. (Full executions are covered per-figure by the
+// benchmark harness and by the shape tests below.)
+func TestRegistryRunnable(t *testing.T) {
+	for _, id := range paperFigures {
+		sp, ok := engine.Get(id)
+		if !ok {
+			t.Errorf("scenario %s not in engine registry", id)
+			continue
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", id, err)
+		}
+		if sp.Custom != nil {
+			continue
+		}
+		for _, s := range sp.Series {
+			if len(s.Runs) == 0 {
+				t.Errorf("scenario %s series %q has no runs", id, s.Label)
+			}
+		}
 	}
 }
 
@@ -50,7 +79,7 @@ func TestListSorted(t *testing.T) {
 }
 
 func TestPresetByName(t *testing.T) {
-	for _, name := range []string{"quick", "standard", "full", ""} {
+	for _, name := range []string{"bench", "quick", "standard", "full", ""} {
 		if _, err := PresetByName(name); err != nil {
 			t.Errorf("PresetByName(%q): %v", name, err)
 		}
@@ -60,112 +89,47 @@ func TestPresetByName(t *testing.T) {
 	}
 }
 
-func TestBaseMatrixCached(t *testing.T) {
-	a := baseMatrix(tinyPreset)
-	b := baseMatrix(tinyPreset)
-	if a != b {
-		t.Fatal("baseMatrix not cached")
-	}
-	sub := subgroupMatrix(tinyPreset, 30)
-	if sub.Size() != 30 {
-		t.Fatalf("subgroup size %d", sub.Size())
-	}
-	if got := subgroupMatrix(tinyPreset, tinyPreset.Nodes); got != a {
-		t.Fatal("full-size subgroup should return the base matrix")
+func TestRunWithUnknown(t *testing.T) {
+	if _, err := RunWith("nope", tinyPreset, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
 	}
 }
 
-func TestRunVivaldiCleanBaseline(t *testing.T) {
-	out := RunVivaldi(VivaldiScenario{Preset: tinyPreset, Frac: 0, TrackNode: -1})
-	if out.CleanRef <= 0 || math.IsNaN(out.CleanRef) {
-		t.Fatalf("clean reference %v", out.CleanRef)
-	}
-	// Without attackers the ratio must hover around 1.
-	for k, ratio := range out.Ratio {
-		if ratio < 0.5 || ratio > 2 {
-			t.Fatalf("clean ratio[%d] = %v, want ~1", k, ratio)
+// detScale is a reduced scale for the determinism test: small enough to
+// run twice, with 2 repetitions so the repetition lane of the parallel
+// executor is exercised too.
+var detScale = Preset{
+	Name:                 "det",
+	Nodes:                70,
+	Reps:                 2,
+	Seed:                 11,
+	VivaldiConvergeTicks: 200,
+	VivaldiAttackTicks:   200,
+	MeasureEvery:         50,
+	NPSConvergeRounds:    2,
+	NPSAttackRounds:      2,
+	EvalPeers:            16,
+	NPSSolveIterations:   60,
+}
+
+// TestDeterminismAcrossWorkers is the engine's core contract: for a fixed
+// seed, the produced figure series are bit-identical whether a scenario
+// runs on 1 worker or 8. Covers a Vivaldi time-series figure (sharded
+// ticks, colluding taps), an NPS figure (layered solves, security filter)
+// and the churn extension (per-shard churn streams).
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	for _, id := range []string{"fig09", "fig21", "extC"} {
+		one, err := RunWith(id, detScale, 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", id, err)
 		}
-	}
-	if len(out.FinalErrors) == 0 {
-		t.Fatal("no final errors collected")
-	}
-	if out.RandomRef < 10 {
-		t.Fatalf("random baseline %v implausibly small", out.RandomRef)
-	}
-}
-
-func TestRunVivaldiDisorderDegrades(t *testing.T) {
-	out := RunVivaldi(VivaldiScenario{
-		Preset: tinyPreset, Frac: 0.5,
-		Install: installVivaldiDisorder, TrackNode: -1,
-	})
-	last := out.Ratio[len(out.Ratio)-1]
-	if last < 2 {
-		t.Fatalf("50%% disorder ratio %v, want noticeable degradation", last)
-	}
-}
-
-func TestRunVivaldiSeriesShape(t *testing.T) {
-	out := RunVivaldi(VivaldiScenario{Preset: tinyPreset, Frac: 0, TrackNode: 3})
-	wantSamples := tinyPreset.VivaldiAttackTicks/tinyPreset.MeasureEvery + 1
-	if len(out.Ticks) != wantSamples || len(out.MeanErr) != wantSamples ||
-		len(out.Ratio) != wantSamples || len(out.TargetErr) != wantSamples {
-		t.Fatalf("series lengths %d/%d/%d/%d, want %d", len(out.Ticks),
-			len(out.MeanErr), len(out.Ratio), len(out.TargetErr), wantSamples)
-	}
-	if out.Ticks[0] != tinyPreset.VivaldiConvergeTicks {
-		t.Fatalf("first sample at tick %d", out.Ticks[0])
-	}
-	for k := range out.TargetErr {
-		if math.IsNaN(out.TargetErr[k]) {
-			t.Fatalf("tracked node error NaN at sample %d", k)
+		eight, err := RunWith(id, detScale, 8)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", id, err)
 		}
-	}
-}
-
-func TestRunNPSCleanBaseline(t *testing.T) {
-	out := RunNPS(NPSScenario{Preset: tinyPreset, Config: npsConfig(true), Frac: 0}, nil)
-	if out.CleanRef <= 0 || math.IsNaN(out.CleanRef) {
-		t.Fatalf("clean reference %v", out.CleanRef)
-	}
-	for k, ratio := range out.Ratio {
-		if ratio < 0.3 || ratio > 3 {
-			t.Fatalf("clean NPS ratio[%d] = %v", k, ratio)
+		if !reflect.DeepEqual(one, eight) {
+			t.Errorf("%s: results differ between 1 and 8 workers", id)
 		}
-	}
-	if len(out.LayerFinal[2]) == 0 {
-		t.Fatal("no layer-2 errors collected")
-	}
-	if out.Filter.Total != 0 {
-		// A clean system may filter a handful of poorly fitting honest
-		// refs, but none of them can be malicious.
-		if out.Filter.Malicious != 0 {
-			t.Fatal("clean system filtered 'malicious' nodes")
-		}
-	}
-}
-
-func TestRunNPSDisorderFiltering(t *testing.T) {
-	out := RunNPS(NPSScenario{
-		Preset: tinyPreset, Config: npsConfig(true), Frac: 0.2,
-		Install: installNPSDisorder,
-	}, nil)
-	if out.Filter.Total == 0 {
-		t.Fatal("security filter never fired against simple disorder")
-	}
-	if out.Filter.Ratio() < 0.3 {
-		t.Fatalf("filter precision %.2f against simple disorder", out.Filter.Ratio())
-	}
-}
-
-func TestRunNPSColludingMarksVictims(t *testing.T) {
-	out := &NPSOutcome{}
-	RunNPS(NPSScenario{
-		Preset: tinyPreset, Config: npsConfig(true), Frac: 0.2,
-		Install: installNPSColluding(out, 0.2),
-	}, out)
-	if len(out.VictimFinal) == 0 {
-		t.Fatal("no victim errors collected")
 	}
 }
 
@@ -173,10 +137,12 @@ func TestFig01QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure run")
 	}
-	reg, _ := Get("fig01")
-	r := reg.Run(tinyPreset)
-	if len(r.Series) != len(attackFractions) {
-		t.Fatalf("fig01 series %d, want %d", len(r.Series), len(attackFractions))
+	r, err := RunWith("fig01", tinyPreset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 5 {
+		t.Fatalf("fig01 series %d, want 5", len(r.Series))
 	}
 	// Headline claim: more attackers, worse ratio (compare 10% vs 75% at
 	// the end of the run).
@@ -194,8 +160,10 @@ func TestFig14QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure run")
 	}
-	reg, _ := Get("fig14")
-	r := reg.Run(tinyPreset)
+	r, err := RunWith("fig14", tinyPreset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Series) != 2*len(npsFractions) {
 		t.Fatalf("fig14 series %d", len(r.Series))
 	}
@@ -215,6 +183,44 @@ func TestFig14QuickShape(t *testing.T) {
 	}
 	if onAt20 > offAt20*1.2 {
 		t.Fatalf("security on (%.3f) much worse than off (%.3f) at 20%%", onAt20, offAt20)
+	}
+}
+
+func TestFig10TargetTracked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run")
+	}
+	r, err := RunWith("fig10", tinyPreset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("fig10 series %d, want 2", len(r.Series))
+	}
+	for _, s := range r.Series {
+		for k, y := range s.Y {
+			if math.IsNaN(y) {
+				t.Fatalf("series %q: target error NaN at sample %d", s.Label, k)
+			}
+		}
+	}
+}
+
+func TestFig25VictimSeriesNonEmpty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run")
+	}
+	r, err := RunWith("fig25", tinyPreset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 6 {
+		t.Fatalf("fig25 series %d, want 6", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Y) == 0 {
+			t.Fatalf("series %q empty", s.Label)
+		}
 	}
 }
 

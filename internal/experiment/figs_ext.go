@@ -4,34 +4,26 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/pic"
 	"repro/internal/randx"
-	"repro/internal/vivaldi"
 )
 
-// Extension experiments: not figures of the paper, but direct follow-ups
-// its text calls for. extA quantifies the §2.2 critique of PIC's
-// triangle-inequality security test; extB contrasts the paper's
-// "injection" attack context with the "genesis" context of its companion
-// paper [9]; extC adds membership churn, the environment the introduction
-// says coordinate services must survive.
+// Extension A: not a figure of the paper, but a direct follow-up its text
+// calls for — quantifying the §2.2 critique of PIC's triangle-inequality
+// security test. PIC is outside the engine's CoordSystem adapters, so the
+// scenario registers with a Custom runner: the registry still lists, runs
+// and scales it like every other entry. (Extensions B and C — the genesis
+// attack context and membership churn — are declarative spec entries in
+// specs.go.)
 
 func init() {
-	register(Registration{
-		ID: "extA", Figure: "Extension A",
-		Title: "PIC triangle-test trade-off: false positives on a clean TIV-rich Internet",
-		Run:   runExtPIC,
-	})
-	register(Registration{
-		ID: "extB", Figure: "Extension B",
-		Title: "Vivaldi disorder: genesis vs injection attack context",
-		Run:   runExtGenesis,
-	})
-	register(Registration{
-		ID: "extC", Figure: "Extension C",
-		Title: "Vivaldi disorder under membership churn",
-		Run:   runExtChurn,
+	engine.Register(engine.ScenarioSpec{
+		Name: "extA", Figure: "Extension A",
+		Title:  "PIC triangle-test trade-off: false positives on a clean TIV-rich Internet",
+		XLabel: "malicious %", YLabel: "average relative error",
+		Custom: runExtPIC,
 	})
 }
 
@@ -39,33 +31,64 @@ func init() {
 // the clean matrix and under simple delay attackers, and reports accuracy
 // plus the test's precision. The §2.2 prediction: on a TIV-rich Internet
 // the test rejects honest anchors (false positives) and buys little.
-func runExtPIC(p Preset) *Result {
-	r := &Result{ID: "extA", XLabel: "malicious %", YLabel: "average relative error"}
+// Every (security, fraction, repetition) combination is an independent
+// unit run across the pool; results reduce in declaration order, so the
+// output is identical for any worker count.
+func runExtPIC(p engine.Scale, pool *engine.Pool) *Result {
+	r := &Result{}
 	m := baseMatrix(p)
 	peers := metrics.PeerSets(m.Size(), p.EvalPeers, randx.DeriveSeed(p.Seed, "ext-pic-peers", 0))
 	rounds := p.NPSConvergeRounds + p.NPSAttackRounds
+	securities := []bool{false, true}
+	fractions := []float64{0, 0.10, 0.20, 0.30}
+	reps := p.Reps
+	if reps < 1 {
+		reps = 1
+	}
 
-	for _, security := range []bool{false, true} {
+	type unit struct {
+		security bool
+		frac     float64
+		rep      int
+		err, fp  float64
+	}
+	var units []unit
+	for _, security := range securities {
+		for _, frac := range fractions {
+			for rep := 0; rep < reps; rep++ {
+				units = append(units, unit{security: security, frac: frac, rep: rep})
+			}
+		}
+	}
+	pool.RunUnits(len(units), func(k int) {
+		u := &units[k]
+		seed := randx.DeriveSeed(p.Seed, "ext-pic", u.rep)
+		sys := pic.NewSystem(m, pic.Config{
+			Security:        u.security,
+			SolveIterations: p.NPSSolveIterations,
+		}, seed)
+		sys.Run(p.NPSConvergeRounds)
+		sys.ResetStats()
+		mal := core.SelectMalicious(sys.Size(), u.frac, nil, seed)
+		malSet := core.MemberSet(mal)
+		for _, id := range mal {
+			sys.SetTap(id, picDelayTap{seed: seed, owner: id})
+		}
+		sys.Run(rounds - p.NPSConvergeRounds)
+		honest := func(i int) bool { return !malSet[i] }
+		u.err = metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest))
+		u.fp = sys.Stats().FalsePositiveRate()
+	})
+
+	k := 0
+	for _, security := range securities {
 		s := Series{Label: fmt.Sprintf("triangle-test=%v", security)}
-		for _, frac := range []float64{0, 0.10, 0.20, 0.30} {
+		for _, frac := range fractions {
 			var meanErr, fpRate float64
-			for rep := 0; rep < p.Reps; rep++ {
-				seed := randx.DeriveSeed(p.Seed, "ext-pic", rep)
-				sys := pic.NewSystem(m, pic.Config{
-					Security:        security,
-					SolveIterations: p.NPSSolveIterations,
-				}, seed)
-				sys.Run(p.NPSConvergeRounds)
-				sys.ResetStats()
-				mal := core.SelectMalicious(sys.Size(), frac, nil, seed)
-				malSet := core.MemberSet(mal)
-				for _, id := range mal {
-					sys.SetTap(id, picDelayTap{seed: seed, owner: id})
-				}
-				sys.Run(rounds - p.NPSConvergeRounds)
-				honest := func(i int) bool { return !malSet[i] }
-				meanErr += metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest)) / float64(p.Reps)
-				fpRate += sys.Stats().FalsePositiveRate() / float64(p.Reps)
+			for rep := 0; rep < reps; rep++ {
+				meanErr += units[k].err / float64(reps)
+				fpRate += units[k].fp / float64(reps)
+				k++
 			}
 			s.Add(frac*100, meanErr)
 			r.Notef("sec=%v frac=%s err=%.3f false-positive-rate=%.2f",
@@ -87,99 +110,4 @@ func (t picDelayTap) Respond(victim int, honest pic.ProbeReply, view pic.View) p
 	rng := randx.NewDerived(t.seed, "pic-delay", t.owner*1_000_003+victim)
 	honest.RTT += randx.Uniform(rng, 100, 1000)
 	return honest
-}
-
-// runExtGenesis contrasts attackers present from system creation
-// ("genesis", studied in the paper's companion [9]) with the injection
-// context used everywhere in §5: the same disorder population, installed
-// at tick zero vs after convergence.
-func runExtGenesis(p Preset) *Result {
-	r := &Result{ID: "extB", XLabel: "tick", YLabel: "average relative error"}
-	m := baseMatrix(p)
-	peers := metrics.PeerSets(m.Size(), p.EvalPeers, randx.DeriveSeed(p.Seed, "ext-gen-peers", 0))
-	total := p.VivaldiConvergeTicks + p.VivaldiAttackTicks
-	frac := 0.30
-
-	for _, genesis := range []bool{false, true} {
-		s := Series{Label: map[bool]string{false: "injection at convergence", true: "genesis (present from start)"}[genesis]}
-		nSamples := total/p.MeasureEvery + 1
-		ys := make([]float64, nSamples)
-		for rep := 0; rep < p.Reps; rep++ {
-			seed := randx.DeriveSeed(p.Seed, "ext-genesis", rep)
-			sys := vivaldi.NewSystem(m, vivaldi.Config{}, seed)
-			mal := core.SelectMalicious(sys.Size(), frac, nil, seed)
-			malSet := core.MemberSet(mal)
-			install := func() {
-				for _, id := range mal {
-					sys.SetTap(id, core.NewVivaldiDisorder(id, seed))
-				}
-			}
-			if genesis {
-				install()
-			}
-			honest := func(i int) bool { return !malSet[i] }
-			for k := 0; k < nSamples; k++ {
-				if k > 0 {
-					sys.Run(p.MeasureEvery)
-				}
-				if !genesis && sys.Tick() >= p.VivaldiConvergeTicks && !sys.IsMalicious(mal[0]) {
-					install()
-				}
-				ys[k] += metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest)) / float64(p.Reps)
-			}
-		}
-		for k, y := range ys {
-			s.Add(float64(k*p.MeasureEvery), y)
-		}
-		r.Series = append(r.Series, s)
-		r.Notef("%s: final err=%.3f", s.Label, ys[len(ys)-1])
-	}
-	return r
-}
-
-// runExtChurn repeats the injected disorder attack while a fraction of the
-// honest population is replaced by fresh joins every measurement period.
-// Churn forces perpetual re-convergence, which the attack then preys on.
-func runExtChurn(p Preset) *Result {
-	r := &Result{ID: "extC", XLabel: "tick", YLabel: "average relative error"}
-	m := baseMatrix(p)
-	peers := metrics.PeerSets(m.Size(), p.EvalPeers, randx.DeriveSeed(p.Seed, "ext-churn-peers", 0))
-	frac := 0.20
-
-	for _, churnPct := range []float64{0, 0.01, 0.05} {
-		s := Series{Label: fmt.Sprintf("churn %.0f%%/period", churnPct*100)}
-		nSamples := p.VivaldiAttackTicks/p.MeasureEvery + 1
-		ys := make([]float64, nSamples)
-		for rep := 0; rep < p.Reps; rep++ {
-			seed := randx.DeriveSeed(p.Seed, "ext-churn", rep)
-			sys := vivaldi.NewSystem(m, vivaldi.Config{}, seed)
-			sys.Run(p.VivaldiConvergeTicks)
-			mal := core.SelectMalicious(sys.Size(), frac, nil, seed)
-			malSet := core.MemberSet(mal)
-			for _, id := range mal {
-				sys.SetTap(id, core.NewVivaldiDisorder(id, seed))
-			}
-			honest := func(i int) bool { return !malSet[i] }
-			churnRng := randx.NewDerived(seed, "churn", rep)
-			for k := 0; k < nSamples; k++ {
-				if k > 0 {
-					sys.Run(p.MeasureEvery)
-					churn := int(churnPct * float64(sys.Size()))
-					for c := 0; c < churn; c++ {
-						id := churnRng.Intn(sys.Size())
-						if !malSet[id] {
-							sys.ResetNode(id)
-						}
-					}
-				}
-				ys[k] += metrics.Mean(metrics.NodeErrors(m, sys.Space(), sys.Coords(), peers, honest)) / float64(p.Reps)
-			}
-		}
-		for k, y := range ys {
-			s.Add(float64(p.VivaldiConvergeTicks+k*p.MeasureEvery), y)
-		}
-		r.Series = append(r.Series, s)
-		r.Notef("%s: final err=%.3f", s.Label, ys[len(ys)-1])
-	}
-	return r
 }

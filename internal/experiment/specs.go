@@ -1,0 +1,469 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/coordspace"
+	"repro/internal/engine"
+)
+
+// This file declares every paper figure as an engine.ScenarioSpec. The
+// figure structure — which curves, which sweeps, which attack — is data;
+// simulation, attack injection, parallel execution and reduction live in
+// internal/engine. Shared runs (e.g. a clean reference used by several
+// curves) dedupe automatically inside the engine.
+
+// Shared sweep values (§5.2: 10%..75% malicious; §5.3 dimension and size
+// sweeps). Scaled-down presets reuse the same fractions: they are ratios,
+// not absolute loads.
+var (
+	attackFractions = []float64{0.10, 0.20, 0.30, 0.50, 0.75}
+	cdfFractions    = []float64{0, 0.10, 0.30, 0.50, 0.75}
+	sizeFractions   = []float64{0.15, 0.30, 0.50, 0.75, 1.0}
+	npsFractions    = []float64{0.10, 0.20, 0.30, 0.40, 0.50}
+
+	// knowledgeProbs sweeps the attacker's probability of knowing a
+	// victim's coordinates (fig. 19/20/22).
+	knowledgeProbs = []float64{0, 0.5, 1}
+
+	// vivaldiSpaces are the embedding geometries of the dimension-impact
+	// figures (fig. 3/6).
+	vivaldiSpaces = []struct {
+		dims   int
+		height bool
+	}{{2, false}, {3, false}, {5, false}, {2, true}}
+)
+
+// percentLabel renders an attacker fraction like "30%".
+func percentLabel(frac float64) string {
+	return fmt.Sprintf("%.0f%%", frac*100)
+}
+
+func spaceName(dims int, height bool) string {
+	if height {
+		return coordspace.EuclideanHeight(dims).Name()
+	}
+	return coordspace.Euclidean(dims).Name()
+}
+
+// Attack shorthands.
+
+func disorder() engine.AttackSpec { return engine.AttackSpec{Kind: engine.AttackDisorder} }
+func repulsion() engine.AttackSpec {
+	return engine.AttackSpec{Kind: engine.AttackRepulsion}
+}
+func repulsionSubset(frac float64) engine.AttackSpec {
+	return engine.AttackSpec{Kind: engine.AttackRepulsion, SubsetFrac: frac}
+}
+func colludeRepel() engine.AttackSpec { return engine.AttackSpec{Kind: engine.AttackColludeRepel} }
+func colludeLure() engine.AttackSpec  { return engine.AttackSpec{Kind: engine.AttackColludeLure} }
+func combined() engine.AttackSpec     { return engine.AttackSpec{Kind: engine.AttackCombined} }
+func npsNaive(knowP float64) engine.AttackSpec {
+	return engine.AttackSpec{Kind: engine.AttackAntiDetect, KnowP: knowP}
+}
+func npsSophisticated(knowP float64) engine.AttackSpec {
+	return engine.AttackSpec{Kind: engine.AttackAntiDetectSoph, KnowP: knowP}
+}
+func npsColluding() engine.AttackSpec {
+	return engine.AttackSpec{Kind: engine.AttackColludingIsolation, VictimFrac: 0.2}
+}
+
+// oneRun declares a single-run series (time-series and CDF figures).
+func oneRun(label string, r engine.RunSpec) engine.SeriesSpec {
+	return engine.SeriesSpec{Label: label, Runs: []engine.RunSpec{r}}
+}
+
+func init() {
+	// ---- Vivaldi, §5.3 ----
+
+	var fig01 []engine.SeriesSpec
+	for _, frac := range attackFractions {
+		fig01 = append(fig01, oneRun(percentLabel(frac), engine.RunSpec{Frac: frac, Attack: disorder()}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig01", Figure: "Figure 1",
+		Title:  "Vivaldi injected disorder: average relative error ratio vs time",
+		XLabel: "tick", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsTime, Series: fig01,
+	})
+
+	var fig02 []engine.SeriesSpec
+	for _, frac := range cdfFractions {
+		fig02 = append(fig02, oneRun(percentLabel(frac), engine.RunSpec{Frac: frac, Attack: disorder()}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig02", Figure: "Figure 2",
+		Title:  "Vivaldi injected disorder: CDF of relative error after the attack",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemVivaldi, Output: engine.OutFinalCDF, Series: fig02,
+	})
+
+	var fig03 []engine.SeriesSpec
+	for _, sp := range vivaldiSpaces {
+		s := engine.SeriesSpec{Label: spaceName(sp.dims, sp.height)}
+		for _, frac := range attackFractions {
+			s.Runs = append(s.Runs, engine.RunSpec{
+				Frac: frac, Attack: disorder(), Dims: sp.dims, Height: sp.height,
+			})
+		}
+		fig03 = append(fig03, s)
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig03", Figure: "Figure 3",
+		Title:  "Vivaldi injected disorder: impact of space dimension",
+		XLabel: "malicious %", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutFinalVsX, Series: fig03,
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig04", Figure: "Figure 4",
+		Title:  "Vivaldi injected disorder: impact of system size",
+		XLabel: "system size (nodes)", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutFinalVsX,
+		Series: sizeSweep(disorder(), []float64{0.20, 0.50}, false),
+	})
+
+	var fig05 []engine.SeriesSpec
+	for _, frac := range cdfFractions {
+		fig05 = append(fig05, oneRun(percentLabel(frac), engine.RunSpec{Frac: frac, Attack: repulsion()}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig05", Figure: "Figure 5",
+		Title:  "Vivaldi injected repulsion: CDF of relative error",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemVivaldi, Output: engine.OutFinalCDF, Series: fig05,
+	})
+
+	var fig06 []engine.SeriesSpec
+	for _, sp := range vivaldiSpaces {
+		s := engine.SeriesSpec{Label: spaceName(sp.dims, sp.height)}
+		for _, frac := range attackFractions {
+			s.Runs = append(s.Runs, engine.RunSpec{
+				Frac: frac, Attack: repulsion(), Dims: sp.dims, Height: sp.height,
+			})
+		}
+		fig06 = append(fig06, s)
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig06", Figure: "Figure 6",
+		Title:  "Vivaldi injected repulsion: impact of space dimension",
+		XLabel: "malicious %", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutFinalVsX, Series: fig06,
+	})
+
+	var fig07 []engine.SeriesSpec
+	for _, subset := range []float64{0.05, 0.10, 0.25, 0.50, 1.0} {
+		s := engine.SeriesSpec{Label: fmt.Sprintf("subset %s", percentLabel(subset))}
+		for _, frac := range []float64{0.10, 0.20, 0.30, 0.50} {
+			s.Runs = append(s.Runs, engine.RunSpec{Frac: frac, Attack: repulsionSubset(subset)})
+		}
+		fig07 = append(fig07, s)
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig07", Figure: "Figure 7",
+		Title:  "Vivaldi repulsion on independently chosen victim subsets",
+		XLabel: "malicious %", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutFinalVsX, Series: fig07,
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig08", Figure: "Figure 8",
+		Title:  "Vivaldi injected repulsion: effect of system size",
+		XLabel: "system size (nodes)", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutFinalVsX,
+		Series: sizeSweep(repulsion(), []float64{0.20, 0.50}, false),
+	})
+
+	var fig09 []engine.SeriesSpec
+	for _, frac := range attackFractions {
+		fig09 = append(fig09, oneRun(percentLabel(frac), engine.RunSpec{
+			Frac: frac, Attack: colludeRepel(), ExcludeTarget: true,
+		}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig09", Figure: "Figure 9",
+		Title:  "Vivaldi colluding isolation (repel-all): average relative error ratio",
+		XLabel: "tick", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsTime, Series: fig09,
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig10", Figure: "Figure 10",
+		Title:  "Vivaldi colluding isolation: the target's relative error over time",
+		XLabel: "tick", YLabel: "target relative error",
+		System: engine.SystemVivaldi, Output: engine.OutTargetVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("strategy 1 (repel the world)", engine.RunSpec{
+				Frac: 0.20, Attack: colludeRepel(), ExcludeTarget: true, TrackTarget: true,
+			}),
+			oneRun("strategy 2 (lure the target)", engine.RunSpec{
+				Frac: 0.20, Attack: colludeLure(), ExcludeTarget: true, TrackTarget: true,
+			}),
+		},
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig11", Figure: "Figure 11",
+		Title:  "Vivaldi colluding isolation: CDF of relative errors, both strategies",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemVivaldi, Output: engine.OutFinalCDF,
+		Series: []engine.SeriesSpec{
+			oneRun("clean", engine.RunSpec{}),
+			oneRun("strategy 1 (30%)", engine.RunSpec{
+				Frac: 0.30, Attack: colludeRepel(), ExcludeTarget: true,
+			}),
+			oneRun("strategy 2 (30%)", engine.RunSpec{
+				Frac: 0.30, Attack: colludeLure(), ExcludeTarget: true,
+			}),
+		},
+	})
+
+	var fig12 []engine.SeriesSpec
+	for _, total := range []float64{0.03, 0.06, 0.09, 0.12} {
+		fig12 = append(fig12, oneRun("total "+percentLabel(total), engine.RunSpec{
+			Frac: total, Attack: combined(), ExcludeTarget: true,
+		}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig12", Figure: "Figure 12",
+		Title:  "Vivaldi combined attacks at low attacker levels: impact on convergence",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime, Series: fig12,
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig13", Figure: "Figure 13",
+		Title:  "Vivaldi combined attacks: effect of system size",
+		XLabel: "system size (nodes)", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutFinalVsX,
+		Series: sizeSweep(combined(), []float64{0.06, 0.12}, true),
+	})
+
+	// ---- NPS, §5.4 ----
+
+	var fig14 []engine.SeriesSpec
+	for _, security := range []bool{false, true} {
+		for _, frac := range npsFractions {
+			fig14 = append(fig14, oneRun(fmt.Sprintf("sec=%v %s", security, percentLabel(frac)),
+				engine.RunSpec{Frac: frac, Attack: disorder(), Security: security}))
+		}
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig14", Figure: "Figure 14",
+		Title:  "NPS injected simple disorder: average relative error vs time",
+		XLabel: "round", YLabel: "average relative error",
+		System: engine.SystemNPS, Output: engine.OutMeanVsTime, Series: fig14,
+	})
+
+	fig15 := []engine.SeriesSpec{oneRun("clean", engine.RunSpec{Security: true})}
+	for _, security := range []bool{false, true} {
+		for _, frac := range []float64{0.20, 0.40, 0.50} {
+			fig15 = append(fig15, oneRun(fmt.Sprintf("sec=%v %s", security, percentLabel(frac)),
+				engine.RunSpec{Frac: frac, Attack: disorder(), Security: security}))
+		}
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig15", Figure: "Figure 15",
+		Title:  "NPS injected simple disorder: CDF of relative errors",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemNPS, Output: engine.OutFinalCDF, Series: fig15,
+	})
+
+	var fig16 []engine.SeriesSpec
+	for _, dims := range []int{6, 8, 10, 12} {
+		s := engine.SeriesSpec{Label: fmt.Sprintf("%dD", dims)}
+		for _, frac := range []float64{0.10, 0.20, 0.30, 0.50} {
+			s.Runs = append(s.Runs, engine.RunSpec{
+				Frac: frac, Attack: disorder(), Security: true, Dims: dims,
+			})
+		}
+		fig16 = append(fig16, s)
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig16", Figure: "Figure 16",
+		Title:  "NPS injected simple disorder: impact of dimensionality",
+		XLabel: "malicious %", YLabel: "average relative error",
+		System: engine.SystemNPS, Output: engine.OutFinalVsX, Series: fig16,
+	})
+
+	var fig18 []engine.SeriesSpec
+	for _, security := range []bool{false, true} {
+		for _, frac := range []float64{0.10, 0.20, 0.30, 0.40} {
+			fig18 = append(fig18, oneRun(fmt.Sprintf("sec=%v %s", security, percentLabel(frac)),
+				engine.RunSpec{Frac: frac, Attack: npsNaive(0.5), Security: security}))
+		}
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig18", Figure: "Figure 18",
+		Title:  "NPS anti-detection naive attackers: impact on convergence",
+		XLabel: "round", YLabel: "average relative error",
+		System: engine.SystemNPS, Output: engine.OutMeanVsTime, Series: fig18,
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig19", Figure: "Figure 19",
+		Title:  "NPS anti-detection naive: effect of victim coordinate knowledge",
+		XLabel: "malicious %", YLabel: "relative error ratio",
+		System: engine.SystemNPS, Output: engine.OutRatioVsX,
+		Series: knowledgeSweep(npsNaive),
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig20", Figure: "Figure 20",
+		Title:  "NPS anti-detection naive: filtered-malicious ratio vs knowledge",
+		XLabel: "malicious %", YLabel: "malicious filtered / total filtered",
+		System: engine.SystemNPS, Output: engine.OutFilterRatioVsX,
+		Series: knowledgeSweep(npsNaive),
+	})
+
+	fig21 := []engine.SeriesSpec{oneRun("clean", engine.RunSpec{Security: true})}
+	for _, frac := range []float64{0.10, 0.20, 0.30} {
+		fig21 = append(fig21, oneRun(percentLabel(frac),
+			engine.RunSpec{Frac: frac, Attack: npsSophisticated(0.5), Security: true}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig21", Figure: "Figure 21",
+		Title:  "NPS anti-detection sophisticated attackers: CDF of relative errors",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemNPS, Output: engine.OutFinalCDF, Series: fig21,
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig22", Figure: "Figure 22",
+		Title:  "NPS anti-detection sophisticated: filtered-malicious ratio vs knowledge",
+		XLabel: "malicious %", YLabel: "malicious filtered / total filtered",
+		System: engine.SystemNPS, Output: engine.OutFilterRatioVsX,
+		Series: knowledgeSweep(npsSophisticated),
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig23", Figure: "Figure 23",
+		Title:  "NPS colluding isolation, 3-layer system: CDF of relative errors",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemNPS, Output: engine.OutFinalCDF,
+		Series: colludingCDF(3),
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig24", Figure: "Figure 24",
+		Title:  "NPS colluding isolation, 4-layer system: CDF of relative errors",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemNPS, Output: engine.OutFinalCDF,
+		Series: colludingCDF(4),
+	})
+
+	var fig25 []engine.SeriesSpec
+	for _, layers := range []int{3, 4} {
+		deepest := layers - 1
+		clean := engine.RunSpec{Security: true, Layers: layers}
+		attacked := engine.RunSpec{Frac: 0.20, Attack: npsColluding(), Security: true, Layers: layers}
+		fig25 = append(fig25,
+			engine.SeriesSpec{
+				Label:  fmt.Sprintf("%d-layer clean L%d", layers, deepest),
+				Select: engine.SelectDeepestLayer, Runs: []engine.RunSpec{clean},
+			},
+			engine.SeriesSpec{
+				Label:  fmt.Sprintf("%d-layer attacked L%d", layers, deepest),
+				Select: engine.SelectDeepestLayer, Runs: []engine.RunSpec{attacked},
+			},
+			engine.SeriesSpec{
+				Label:  fmt.Sprintf("%d-layer attacked L2 victims", layers),
+				Select: engine.SelectVictims, Runs: []engine.RunSpec{attacked},
+			},
+		)
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig25", Figure: "Figure 25",
+		Title:  "NPS colluding isolation: propagation of errors across layers",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemNPS, Output: engine.OutFinalCDF, Series: fig25,
+	})
+
+	var fig26 []engine.SeriesSpec
+	for _, total := range []float64{0.10, 0.20, 0.30} {
+		fig26 = append(fig26, oneRun("total "+percentLabel(total), engine.RunSpec{
+			Frac: total, Attack: combined(), Security: true,
+		}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "fig26", Figure: "Figure 26",
+		Title:  "NPS combined attacks: impact on convergence",
+		XLabel: "round", YLabel: "average relative error",
+		System: engine.SystemNPS, Output: engine.OutMeanVsTime, Series: fig26,
+	})
+
+	// ---- Extensions (see figs_ext.go for extA) ----
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "extB", Figure: "Extension B",
+		Title:  "Vivaldi disorder: genesis vs injection attack context",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("injection at convergence", engine.RunSpec{
+				Frac: 0.30, Attack: disorder(), MeasureFromStart: true,
+			}),
+			oneRun("genesis (present from start)", engine.RunSpec{
+				Frac: 0.30, Attack: disorder(), Genesis: true,
+			}),
+		},
+	})
+
+	var extC []engine.SeriesSpec
+	for _, churn := range []float64{0, 0.01, 0.05} {
+		extC = append(extC, oneRun(fmt.Sprintf("churn %.0f%%/period", churn*100),
+			engine.RunSpec{Frac: 0.20, Attack: disorder(), ChurnFrac: churn}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "extC", Figure: "Extension C",
+		Title:  "Vivaldi disorder under membership churn",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime, Series: extC,
+	})
+}
+
+// sizeSweep builds the system-size figures: one series per malicious
+// fraction, one run per population fraction of the preset.
+func sizeSweep(attack engine.AttackSpec, fracs []float64, excludeTarget bool) []engine.SeriesSpec {
+	var out []engine.SeriesSpec
+	for _, frac := range fracs {
+		label := percentLabel(frac)
+		if attack.Kind == engine.AttackCombined {
+			label = "total " + label
+		}
+		s := engine.SeriesSpec{Label: label}
+		for _, sf := range sizeFractions {
+			s.Runs = append(s.Runs, engine.RunSpec{
+				Frac: frac, Attack: attack, NodesFrac: sf,
+				ExcludeTarget: excludeTarget, XAxis: engine.XNodes,
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// knowledgeSweep builds the victim-knowledge figures: one series per
+// p(know), one run per malicious fraction.
+func knowledgeSweep(attack func(knowP float64) engine.AttackSpec) []engine.SeriesSpec {
+	var out []engine.SeriesSpec
+	for _, knowP := range knowledgeProbs {
+		s := engine.SeriesSpec{Label: fmt.Sprintf("p(know)=%.2f", knowP)}
+		for _, frac := range []float64{0.05, 0.10, 0.20, 0.30} {
+			s.Runs = append(s.Runs, engine.RunSpec{Frac: frac, Attack: attack(knowP), Security: true})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// colludingCDF builds the fig. 23/24 series set at the given layer count.
+func colludingCDF(layers int) []engine.SeriesSpec {
+	out := []engine.SeriesSpec{oneRun("clean", engine.RunSpec{Security: true, Layers: layers})}
+	for _, frac := range []float64{0.10, 0.20, 0.30} {
+		out = append(out, oneRun(percentLabel(frac), engine.RunSpec{
+			Frac: frac, Attack: npsColluding(), Security: true, Layers: layers,
+		}))
+	}
+	return out
+}

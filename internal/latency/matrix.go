@@ -58,6 +58,20 @@ func (m *Matrix) Set(i, j int, v float64) {
 	m.rtts[j*m.n+i] = v
 }
 
+// RTTPairs fills out[k] with the RTT of pair (srcs[k], dsts[k]). Negative
+// indices leave the slot untouched. This is the substrate's batched
+// sampling path, used by the engine's parallel tick: each shard resolves
+// its whole probe set against the matrix in one tight loop instead of
+// interleaving lookups with update work.
+func (m *Matrix) RTTPairs(srcs, dsts []int, out []float64) {
+	for k := range srcs {
+		i, j := srcs[k], dsts[k]
+		if i >= 0 && j >= 0 {
+			out[k] = m.rtts[i*m.n+j]
+		}
+	}
+}
+
 // Submatrix returns a new matrix restricted to the given node indices, in
 // order. The result's node k corresponds to nodes[k] in the parent.
 func (m *Matrix) Submatrix(nodes []int) *Matrix {

@@ -76,7 +76,16 @@ func PeerSets(n, k int, seed int64) [][]int {
 // Nodes with include(i) false get NaN (they are excluded from aggregates).
 func NodeErrors(m *latency.Matrix, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool) []float64 {
 	out := make([]float64, len(coords))
-	for i := range out {
+	NodeErrorsRange(m, space, coords, peers, include, 0, len(out), out)
+	return out
+}
+
+// NodeErrorsRange is NodeErrors restricted to nodes [lo, hi), writing into
+// out (which spans all nodes). Disjoint ranges touch disjoint slots, so
+// the engine shards a measurement pass across workers with one call per
+// shard.
+func NodeErrorsRange(m *latency.Matrix, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool, lo, hi int, out []float64) {
+	for i := lo; i < hi; i++ {
 		if include != nil && !include(i) {
 			out[i] = math.NaN()
 			continue
@@ -97,7 +106,6 @@ func NodeErrors(m *latency.Matrix, space coordspace.Space, coords []coordspace.C
 		}
 		out[i] = sum / float64(cnt)
 	}
-	return out
 }
 
 // Mean returns the mean of the non-NaN values.

@@ -174,7 +174,8 @@ type System struct {
 	rngs       []*rand.Rand
 	round      int
 	stats      FilterStats
-	byLayer    [][]int // node ids per layer
+	byLayer    [][]int       // node ids per layer
+	parSamples [][]refSample // reusable per-layer buffers for StepParallel
 }
 
 var _ View = (*System)(nil)
@@ -333,26 +334,22 @@ func (s *System) Probe(i, r int) ProbeReply {
 	return honest
 }
 
-// positionNode runs one positioning for node i: probe every current
-// reference, discard over-threshold probes, apply the security filter,
-// then solve with the surviving references.
-//
-// The filter evaluates each reference's fitting error against the node's
-// *current* position estimate — the position computed from the previous
-// round's references, which is exactly "the position computed based on
-// these reference points" once the system iterates (§3.1). Screening
-// before the solve is what gives the filter its power and its failure
-// mode: a converged node spots a reference whose claimed distance is
-// inconsistent with where the node knows it sits, but once enough
-// references lie, the median fitting error itself is poisoned and the
-// criterion goes blind (the paper's ~40% breaking point, fig. 14).
-func (s *System) positionNode(i int) {
-	type sample struct {
-		ref   int
-		coord coordspace.Coord
-		rtt   float64
-	}
-	samples := make([]sample, 0, len(s.refs[i]))
+// refSample is one usable measurement of a reference point: who was
+// probed, the coordinate it claimed, and the RTT the prober observed.
+type refSample struct {
+	ref   int
+	coord coordspace.Coord
+	rtt   float64
+}
+
+// collectSamples probes every current reference of node i and returns the
+// usable measurements: positioned references whose reply passed the probe
+// threshold and sanity checks. Probing is the only part of a positioning
+// that touches other nodes' mutable state (attack taps), so the parallel
+// step calls this serially, in a fixed node order, and hands the samples
+// to positionWith.
+func (s *System) collectSamples(i int) []refSample {
+	samples := make([]refSample, 0, len(s.refs[i]))
 	for _, r := range s.refs[i] {
 		if !s.positioned[r] {
 			continue
@@ -364,8 +361,34 @@ func (s *System) positionNode(i int) {
 		if reply.RTT <= 0 || !s.cfg.Space.Compatible(reply.Coord) {
 			continue
 		}
-		samples = append(samples, sample{r, reply.Coord, reply.RTT})
+		samples = append(samples, refSample{r, reply.Coord, reply.RTT})
 	}
+	return samples
+}
+
+// positionNode runs one positioning for node i: probe every current
+// reference, discard over-threshold probes, apply the security filter,
+// then solve with the surviving references.
+func (s *System) positionNode(i int) {
+	s.positionWith(i, s.collectSamples(i), &s.stats)
+}
+
+// positionWith applies the security filter and the Simplex Downhill solve
+// to already-collected samples. Apart from the stats accumulator it
+// mutates only node-i state (coords, banned set, reference set, RNG
+// stream), so distinct nodes of one layer may run concurrently as long as
+// each passes its own stats accumulator.
+//
+// The filter evaluates each reference's fitting error against the node's
+// *current* position estimate — the position computed from the previous
+// round's references, which is exactly "the position computed based on
+// these reference points" once the system iterates (§3.1). Screening
+// before the solve is what gives the filter its power and its failure
+// mode: a converged node spots a reference whose claimed distance is
+// inconsistent with where the node knows it sits, but once enough
+// references lie, the median fitting error itself is poisoned and the
+// criterion goes blind (the paper's ~40% breaking point, fig. 14).
+func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
 	if len(samples) < s.cfg.Space.Dims/2+2 {
 		return // not enough usable references this round
 	}
@@ -394,9 +417,9 @@ func (s *System) positionNode(i int) {
 		}
 		eliminate := func(ref int) {
 			s.banned[i][ref] = true
-			s.stats.Total++
+			stats.Total++
 			if s.taps[ref] != nil {
-				s.stats.Malicious++
+				stats.Malicious++
 			}
 			s.replaceRef(i, ref)
 		}

@@ -1,0 +1,61 @@
+package nps
+
+// Sharder is the minimal sharded-execution contract the parallel step
+// needs; it is satisfied by engine.Pool. Declared here (as in package
+// vivaldi) so this package carries no engine dependency. NumShards must be
+// a pure function of n — never of the worker count — since this package
+// sizes per-shard accumulators with it.
+type Sharder interface {
+	ForEach(n int, fn func(shard, lo, hi int))
+	NumShards(n int) int
+}
+
+// StepParallel runs one positioning round sharded across sh, layer by
+// layer. The layer order is inherent to NPS — references must position
+// before their dependents — but within a layer every node's solve is
+// independent. The round decomposes, per layer, into:
+//
+//   - a serial probe sweep in node order: probing consults attack taps,
+//     which hold mutable state (RNG streams, per-victim caches) shared
+//     across victims, so replies are collected in the same fixed order
+//     every run;
+//   - a sharded solve phase: the security filter and the Simplex Downhill
+//     minimization touch only node-local state plus a FilterStats
+//     accumulator, which is kept per shard and reduced in shard order.
+//
+// Within one layer, probes read only the coordinates of the layer above
+// (already final for this round) and of the probing node itself (not yet
+// repositioned), so collecting all replies before any solve preserves a
+// consistent view. The result is bit-identical for any worker count.
+func (s *System) StepParallel(sh Sharder) {
+	s.round++
+	for layer := 1; layer < s.cfg.Layers; layer++ {
+		ids := s.byLayer[layer]
+		if len(ids) == 0 {
+			continue
+		}
+		if cap(s.parSamples) < len(ids) {
+			s.parSamples = make([][]refSample, len(ids))
+		}
+		samples := s.parSamples[:len(ids)]
+
+		// Phase 1 (serial, fixed order): collect every node's usable
+		// reference measurements, consulting taps exactly once per probe.
+		for k, i := range ids {
+			samples[k] = s.collectSamples(i)
+		}
+
+		// Phase 2 (sharded): filter + solve, with per-shard filter stats.
+		shardStats := make([]FilterStats, sh.NumShards(len(ids)))
+		sh.ForEach(len(ids), func(shard, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				s.positionWith(ids[k], samples[k], &shardStats[shard])
+			}
+		})
+		// Reduce in shard order (integer sums: order-independent anyway).
+		for _, st := range shardStats {
+			s.stats.Total += st.Total
+			s.stats.Malicious += st.Malicious
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package vivaldi
+
+import "repro/internal/coordspace"
+
+// Sharder is the minimal sharded-execution contract the parallel step
+// needs. It is satisfied by engine.Pool (and by anything else that runs
+// fn over a fixed, worker-count-independent shard decomposition of [0,n)).
+// Declaring it here keeps this package free of an engine dependency.
+type Sharder interface {
+	ForEach(n int, fn func(shard, lo, hi int))
+}
+
+// parallelScratch holds the per-tick buffers StepParallel reuses across
+// ticks to stay allocation-free in steady state.
+type parallelScratch struct {
+	frozenCoords []coordspace.Coord // coordinates at tick start
+	frozenErrs   []float64          // error estimates at tick start
+	srcs         []int              // identity indices, for batched lookups
+	targets      []int              // probe target per node (-1 = none)
+	rtts         []float64          // true RTT of each node's probe
+	resps        []ProbeResponse    // what each prober observed
+}
+
+// frozenView presents the tick-start snapshot as a read-only View. Taps
+// and sample guards see a consistent world: every coordinate and error
+// estimate is the value it had when the tick began, regardless of which
+// shard (or goroutine) asks, which is what makes the parallel tick's
+// output independent of the worker count.
+type frozenView struct {
+	s       *System
+	scratch *parallelScratch
+}
+
+func (v *frozenView) Space() coordspace.Space { return v.s.cfg.Space }
+func (v *frozenView) Coord(i int) coordspace.Coord {
+	return v.scratch.frozenCoords[i].Clone()
+}
+func (v *frozenView) LocalError(i int) float64 { return v.scratch.frozenErrs[i] }
+func (v *frozenView) TrueRTT(i, j int) float64 { return v.s.m.RTT(i, j) }
+func (v *frozenView) Tick() int                { return v.s.tick }
+func (v *frozenView) Size() int                { return len(v.s.nodes) }
+
+func (s *System) scratch() *parallelScratch {
+	if s.par == nil || len(s.par.targets) != len(s.nodes) {
+		n := len(s.nodes)
+		s.par = &parallelScratch{
+			frozenCoords: make([]coordspace.Coord, n),
+			frozenErrs:   make([]float64, n),
+			srcs:         make([]int, n),
+			targets:      make([]int, n),
+			rtts:         make([]float64, n),
+			resps:        make([]ProbeResponse, n),
+		}
+		for i := range s.par.srcs {
+			s.par.srcs[i] = i
+		}
+	}
+	return s.par
+}
+
+// StepParallel runs one simulation tick sharded across sh. It uses
+// synchronous (Jacobi-style) semantics: every probe observes the system as
+// it stood when the tick began, and all updates land together at the end
+// of the tick. This differs from Step, whose in-place sweep lets a probe
+// observe coordinates already updated earlier in the same tick; the
+// synchronous form is what makes node updates order-free and therefore
+// safely executable on any number of workers with bit-identical results.
+//
+// Determinism relies on three invariants:
+//
+//   - every node draws its probe target and its update randomness from its
+//     own per-node RNG stream, touched only by the shard that owns it;
+//   - honest responses are pure reads of the frozen snapshot, with the
+//     substrate RTTs batch-fetched per shard (latency.Matrix.RTTPairs);
+//   - responses that pass through an attack tap are computed in a fixed
+//     serial sweep in prober order, because taps hold mutable state (their
+//     own RNG streams, conspiracy caches) shared across probers.
+func (s *System) StepParallel(sh Sharder) {
+	s.tick++
+	n := len(s.nodes)
+	sc := s.scratch()
+	view := &frozenView{s: s, scratch: sc}
+
+	// Phase 1 (sharded): freeze the tick-start state and draw each node's
+	// probe target from its own stream; batch the substrate lookups.
+	sh.ForEach(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Nodes replace (never mutate) their coordinate on update, so
+			// sharing the tick-start value is safe without cloning.
+			sc.frozenCoords[i] = s.nodes[i].coord
+			sc.frozenErrs[i] = s.nodes[i].err
+			nbrs := s.neighbors[i]
+			if len(nbrs) == 0 {
+				sc.targets[i] = -1
+				continue
+			}
+			sc.targets[i] = nbrs[s.rngs[i].Intn(len(nbrs))]
+		}
+	})
+
+	// Phase 2 (sharded): resolve substrate RTTs and honest responses.
+	// Responses from tapped targets are filled by phase 3.
+	sh.ForEach(n, func(_, lo, hi int) {
+		s.m.RTTPairs(sc.srcs[lo:hi], sc.targets[lo:hi], sc.rtts[lo:hi])
+		for i := lo; i < hi; i++ {
+			j := sc.targets[i]
+			if j < 0 || s.taps[j] != nil {
+				continue
+			}
+			sc.resps[i] = ProbeResponse{
+				Coord: sc.frozenCoords[j],
+				Error: sc.frozenErrs[j],
+				RTT:   sc.rtts[i],
+			}
+		}
+	})
+
+	// Phase 3 (serial, fixed order): forged responses. Taps carry mutable
+	// state shared across probers, so they are consulted exactly once per
+	// probe, in ascending prober order — the same order every run.
+	for i := 0; i < n; i++ {
+		j := sc.targets[i]
+		if j < 0 || s.taps[j] == nil {
+			continue
+		}
+		honest := ProbeResponse{
+			Coord: sc.frozenCoords[j].Clone(),
+			Error: sc.frozenErrs[j],
+			RTT:   sc.rtts[i],
+		}
+		forged := s.taps[j].Respond(i, honest, view)
+		if forged.RTT < honest.RTT {
+			forged.RTT = honest.RTT // delays only; cannot shorten physics
+		}
+		sc.resps[i] = forged
+	}
+
+	// Phase 4 (sharded): apply the update rule. Each node touches only its
+	// own state and RNG stream.
+	sh.ForEach(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if sc.targets[i] < 0 || s.taps[i] != nil {
+				continue // no probe, or malicious (does not move itself)
+			}
+			resp := sc.resps[i]
+			if s.cfg.SampleGuard != nil {
+				var ok bool
+				if resp, ok = s.cfg.SampleGuard(i, resp, view); !ok {
+					continue
+				}
+			}
+			s.nodes[i].Update(resp)
+		}
+	})
+}

@@ -202,6 +202,7 @@ type System struct {
 	taps      []Tap
 	rngs      []*rand.Rand
 	tick      int
+	par       *parallelScratch // reusable buffers for StepParallel
 }
 
 var _ View = (*System)(nil)

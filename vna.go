@@ -242,6 +242,7 @@ type ExperimentResult = experiment.Result
 
 // Presets.
 var (
+	PresetBench    = experiment.Bench
 	PresetQuick    = experiment.Quick
 	PresetStandard = experiment.Standard
 	PresetFull     = experiment.Full
@@ -272,15 +273,28 @@ type UDPNode = daemon.Node
 func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) { return daemon.New(cfg) }
 
 // Experiments lists every registered figure reproduction, sorted by ID.
+// Every entry is a declarative scenario of the unified engine
+// (internal/engine): new workloads — attack mixes, churn, larger-than-paper
+// populations — are registry entries, not new driver code.
 func Experiments() []Experiment { return experiment.List() }
 
-// RunExperiment regenerates one figure ("fig01".."fig26") at the preset.
+// RunExperiment regenerates one figure ("fig01".."fig26") at the preset,
+// parallelized across GOMAXPROCS workers. Results are bit-identical for
+// any worker count at a fixed preset seed.
 func RunExperiment(id string, p Preset) (*ExperimentResult, error) {
-	reg, ok := experiment.Get(id)
-	if !ok {
-		return nil, fmt.Errorf("vna: unknown experiment %q", id)
+	return RunExperimentWith(id, p, 0)
+}
+
+// RunExperimentWith is RunExperiment on an explicit worker count
+// (0 = GOMAXPROCS). The worker count trades wall-clock time only: the
+// produced series are identical for any value.
+func RunExperimentWith(id string, p Preset, workers int) (*ExperimentResult, error) {
+	res, err := experiment.RunWith(id, p, workers)
+	if err != nil {
+		if _, unknown := err.(*experiment.UnknownError); unknown {
+			return nil, fmt.Errorf("vna: unknown experiment %q", id)
+		}
+		return nil, err
 	}
-	res := reg.Run(p)
-	res.Title = reg.Title
 	return res, nil
 }

@@ -99,6 +99,22 @@ func TestRunExperimentUnknown(t *testing.T) {
 	if _, err := RunExperiment("nope", PresetQuick); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
+	if _, err := RunExperimentWith("nope", PresetQuick, 4); err == nil {
+		t.Fatal("unknown experiment accepted with workers")
+	}
+}
+
+func TestRunExperimentWithWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run")
+	}
+	res, err := RunExperimentWith("fig02", PresetBench, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || res.Title == "" {
+		t.Fatalf("empty result: %+v", res)
+	}
 }
 
 func TestExperimentsListed(t *testing.T) {
