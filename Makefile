@@ -1,0 +1,24 @@
+# Development entry points. The benchmark target is the one-command way to
+# re-record BENCH_engine.json on a new host (see README "Performance").
+
+# bench pipes through tee; without pipefail a failing go test would exit
+# with tee's (successful) status and CI would upload a truncated artifact.
+SHELL := /bin/bash -o pipefail
+
+BENCHTIME ?= 1x
+BENCH     ?= .
+
+.PHONY: test bench race
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/engine/ ./internal/vivaldi/ ./internal/nps/
+
+# Runs the full benchmark suite with allocation stats and tees the raw
+# output to bench.txt (the CI bench job uploads it as an artifact).
+# Override cadence or selection, e.g.:
+#   make bench BENCHTIME=3x BENCH='BenchmarkEngineParallel|TickSharded|Measure5k'
+bench:
+	go test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . ./internal/... | tee bench.txt

@@ -161,27 +161,9 @@ func (s Space) Unit(a, b Coord, rng *rand.Rand) (Coord, float64) {
 }
 
 func (s Space) randomUnit(rng *rand.Rand) Coord {
-	c := Coord{V: make([]float64, s.Dims)}
-	for {
-		sum := 0.0
-		for i := range c.V {
-			c.V[i] = rng.NormFloat64()
-			sum += c.V[i] * c.V[i]
-		}
-		if s.HasHeight {
-			c.H = math.Abs(rng.NormFloat64())
-			sum += c.H * c.H
-		}
-		norm := math.Sqrt(sum)
-		if norm > 1e-9 {
-			inv := 1 / norm
-			for i := range c.V {
-				c.V[i] *= inv
-			}
-			c.H *= inv
-			return c
-		}
-	}
+	buf := make([]float64, s.Dims+1)
+	s.randomUnitInto(buf, rng)
+	return Coord{V: buf[:s.Dims:s.Dims], H: buf[s.Dims]}
 }
 
 // Displace returns a + f·dir, clamping the height to the space's floor.

@@ -1,0 +1,286 @@
+package coordspace
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Store is a structure-of-arrays coordinate store: every node's coordinate
+// lives in one flat []float64 at a fixed stride of Dims Euclidean
+// components followed by one height slot (kept zero in height-less
+// spaces). The flat layout is what makes the simulation's hot paths —
+// per-tick snapshots, batched distance sweeps, in-place displacements —
+// cache-linear and allocation-free; the Coord value type remains the
+// boundary API, constructed on demand at snapshot/report edges only.
+//
+// A Store is not safe for unsynchronised concurrent writes to the same
+// slot; the engine's sharding contract (disjoint index ranges per shard)
+// is what makes concurrent use race-free.
+type Store struct {
+	space  Space
+	n      int
+	stride int
+	data   []float64
+}
+
+// NewStore returns an n-slot store with every coordinate at the space's
+// origin (height at the floor, as Space.Zero).
+func NewStore(space Space, n int) *Store {
+	if n < 0 {
+		panic("coordspace: negative store size")
+	}
+	stride := space.Dims + 1
+	st := &Store{space: space, n: n, stride: stride, data: make([]float64, n*stride)}
+	if space.HasHeight {
+		for i := 0; i < n; i++ {
+			st.data[i*stride+space.Dims] = space.MinHeight
+		}
+	}
+	return st
+}
+
+// Len returns the number of slots.
+func (st *Store) Len() int { return st.n }
+
+// Space returns the embedding geometry.
+func (st *Store) Space() Space { return st.space }
+
+// Stride returns the per-slot stride (Dims + the height slot). Scratch
+// buffers for in-place kernels (UnitToCoord, DisplaceAt) must be this
+// long.
+func (st *Store) Stride() int { return st.stride }
+
+// slot returns the full stride-sized backing slice of slot i.
+func (st *Store) slot(i int) []float64 {
+	return st.data[i*st.stride : i*st.stride+st.stride]
+}
+
+// VecAt returns the Euclidean components of slot i, aliased into the flat
+// buffer — a zero-allocation view. Callers must not grow it and must not
+// retain it across writes to the store.
+func (st *Store) VecAt(i int) []float64 {
+	return st.data[i*st.stride : i*st.stride+st.space.Dims]
+}
+
+// HeightAt returns the height component of slot i (zero in height-less
+// spaces).
+func (st *Store) HeightAt(i int) float64 {
+	return st.data[i*st.stride+st.space.Dims]
+}
+
+// ViewAt returns slot i as a Coord whose vector aliases the flat buffer —
+// a zero-allocation, read-only view. The view is valid until the slot is
+// next written; callers that retain coordinates use CoordAt instead.
+func (st *Store) ViewAt(i int) Coord {
+	return Coord{V: st.VecAt(i), H: st.HeightAt(i)}
+}
+
+// CoordAt returns a deep copy of slot i — the boundary representation
+// handed to code outside the hot paths.
+func (st *Store) CoordAt(i int) Coord {
+	v := make([]float64, st.space.Dims)
+	copy(v, st.VecAt(i))
+	return Coord{V: v, H: st.HeightAt(i)}
+}
+
+// SetCoordAt copies c into slot i. c must have the space's dimensionality.
+func (st *Store) SetCoordAt(i int, c Coord) {
+	if len(c.V) != st.space.Dims {
+		panic("coordspace: SetCoordAt dimension mismatch")
+	}
+	copy(st.VecAt(i), c.V)
+	st.data[i*st.stride+st.space.Dims] = c.H
+}
+
+// SetZeroAt resets slot i to the space's origin (height at the floor).
+func (st *Store) SetZeroAt(i int) {
+	s := st.slot(i)
+	for k := range s {
+		s[k] = 0
+	}
+	if st.space.HasHeight {
+		s[st.space.Dims] = st.space.MinHeight
+	}
+}
+
+// RandomAt fills slot i like Space.Random: Euclidean components uniform in
+// [-scale, scale] and, in height spaces, a height uniform in
+// (MinHeight, scale].
+func (st *Store) RandomAt(i int, rng *rand.Rand, scale float64) {
+	s := st.slot(i)
+	for k := 0; k < st.space.Dims; k++ {
+		s[k] = (rng.Float64()*2 - 1) * scale
+	}
+	if st.space.HasHeight {
+		s[st.space.Dims] = st.space.MinHeight + rng.Float64()*math.Max(scale-st.space.MinHeight, 0)
+	}
+}
+
+// Dist returns the predicted distance between slots i and j: the Euclidean
+// norm of the difference, plus both heights in a height space.
+func (st *Store) Dist(i, j int) float64 {
+	a := st.data[i*st.stride:]
+	b := st.data[j*st.stride:]
+	sum := 0.0
+	for k := 0; k < st.space.Dims; k++ {
+		d := a[k] - b[k]
+		sum += d * d
+	}
+	d := math.Sqrt(sum)
+	if st.space.HasHeight {
+		d += a[st.space.Dims] + b[st.space.Dims]
+	}
+	return d
+}
+
+// DistMany fills out[k] with Dist(i, js[k]) — the batched kernel behind
+// the measurement sweep. Negative indices leave the slot untouched.
+func (st *Store) DistMany(i int, js []int, out []float64) {
+	for k, j := range js {
+		if j >= 0 {
+			out[k] = st.Dist(i, j)
+		}
+	}
+}
+
+// DistToCoord returns the distance between slot i and an arbitrary
+// coordinate.
+func (st *Store) DistToCoord(i int, c Coord) float64 {
+	a := st.data[i*st.stride:]
+	sum := 0.0
+	for k := 0; k < st.space.Dims; k++ {
+		d := a[k] - c.V[k]
+		sum += d * d
+	}
+	d := math.Sqrt(sum)
+	if st.space.HasHeight {
+		d += a[st.space.Dims] + c.H
+	}
+	return d
+}
+
+// NormAt returns the distance of slot i from the origin (plus the slot's
+// height and the origin's floor height in a height space, matching
+// Space.NormOf).
+func (st *Store) NormAt(i int) float64 {
+	a := st.data[i*st.stride:]
+	sum := 0.0
+	for k := 0; k < st.space.Dims; k++ {
+		sum += a[k] * a[k]
+	}
+	d := math.Sqrt(sum)
+	if st.space.HasHeight {
+		d += a[st.space.Dims] + st.space.MinHeight
+	}
+	return d
+}
+
+// UnitToCoord computes the unit vector u(a−b) with a = slot i and b an
+// arbitrary coordinate, writing the direction into dir (stride layout:
+// Dims components plus the height slot) and returning the distance ‖a−b‖.
+// Coincident points yield a uniformly random unit direction and distance
+// zero, exactly as Space.Unit. dir must be Stride() long; no allocation.
+func (st *Store) UnitToCoord(i int, b Coord, dir []float64, rng *rand.Rand) float64 {
+	a := st.data[i*st.stride:]
+	sum := 0.0
+	for k := 0; k < st.space.Dims; k++ {
+		d := a[k] - b.V[k]
+		dir[k] = d
+		sum += d * d
+	}
+	norm := math.Sqrt(sum)
+	dir[st.space.Dims] = 0
+	if st.space.HasHeight {
+		dir[st.space.Dims] = a[st.space.Dims] + b.H
+		norm += dir[st.space.Dims]
+	}
+	if norm <= 1e-9 {
+		st.space.randomUnitInto(dir, rng)
+		return 0
+	}
+	inv := 1 / norm
+	for k := 0; k <= st.space.Dims; k++ {
+		dir[k] *= inv
+	}
+	return norm
+}
+
+// randomUnitInto writes a uniformly random unit direction into dst
+// (stride layout). It is the single implementation of the coincident-point
+// tie-break — randomUnit delegates here, so the RNG draw order (a
+// determinism contract: every node starts at the origin, so the first tick
+// hits this branch population-wide) cannot diverge between the Coord and
+// flat-store paths.
+func (s Space) randomUnitInto(dst []float64, rng *rand.Rand) {
+	for {
+		sum := 0.0
+		for k := 0; k < s.Dims; k++ {
+			dst[k] = rng.NormFloat64()
+			sum += dst[k] * dst[k]
+		}
+		dst[s.Dims] = 0
+		if s.HasHeight {
+			dst[s.Dims] = math.Abs(rng.NormFloat64())
+			sum += dst[s.Dims] * dst[s.Dims]
+		}
+		norm := math.Sqrt(sum)
+		if norm > 1e-9 {
+			inv := 1 / norm
+			for k := 0; k <= s.Dims; k++ {
+				dst[k] *= inv
+			}
+			return
+		}
+	}
+}
+
+// DisplaceAt moves slot i by f·dir in place, clamping the height to the
+// space's floor — the flat equivalent of Space.Displace. The displaced
+// point is validated before anything is written: on a non-finite result
+// the slot is left untouched and false is returned. dir is clobbered (it
+// carries the candidate point during validation).
+func (st *Store) DisplaceAt(i int, dir []float64, f float64) bool {
+	a := st.slot(i)
+	valid := true
+	for k := 0; k < st.space.Dims; k++ {
+		m := a[k] + f*dir[k]
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			valid = false
+		}
+		dir[k] = m
+	}
+	h := 0.0
+	if st.space.HasHeight {
+		h = a[st.space.Dims] + f*dir[st.space.Dims]
+		if h < st.space.MinHeight {
+			h = st.space.MinHeight
+		}
+	}
+	if !valid || math.IsNaN(h) || math.IsInf(h, 0) {
+		return false
+	}
+	copy(a[:st.space.Dims], dir[:st.space.Dims])
+	a[st.space.Dims] = h
+	return true
+}
+
+// CopyRange copies slots [lo, hi) from src — the sharded per-tick
+// snapshot path: one flat memcpy per shard, no per-node work. The stores
+// must share the same space.
+func (st *Store) CopyRange(src *Store, lo, hi int) {
+	copy(st.data[lo*st.stride:hi*st.stride], src.data[lo*src.stride:hi*src.stride])
+}
+
+// CopyFrom copies every slot from src.
+func (st *Store) CopyFrom(src *Store) {
+	st.CopyRange(src, 0, st.n)
+}
+
+// Coords materialises every slot as a Coord — the snapshot edge.
+func (st *Store) Coords() []Coord {
+	out := make([]Coord, st.n)
+	for i := range out {
+		out[i] = st.CoordAt(i)
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package coordspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestStoreZeroAndSet(t *testing.T) {
+	for _, space := range []Space{Euclidean(3), EuclideanHeight(2)} {
+		st := NewStore(space, 4)
+		if st.Len() != 4 || st.Stride() != space.Dims+1 {
+			t.Fatalf("%s: len/stride %d/%d", space.Name(), st.Len(), st.Stride())
+		}
+		for i := 0; i < st.Len(); i++ {
+			want := space.Zero()
+			got := st.CoordAt(i)
+			if got.H != want.H {
+				t.Fatalf("%s slot %d height %v, want %v", space.Name(), i, got.H, want.H)
+			}
+			for k := range want.V {
+				if got.V[k] != 0 {
+					t.Fatalf("%s slot %d not at origin: %v", space.Name(), i, got)
+				}
+			}
+		}
+		c := Coord{V: make([]float64, space.Dims), H: 7}
+		for k := range c.V {
+			c.V[k] = float64(k + 1)
+		}
+		st.SetCoordAt(2, c)
+		got := st.CoordAt(2)
+		for k := range c.V {
+			if got.V[k] != c.V[k] {
+				t.Fatalf("%s: SetCoordAt roundtrip %v != %v", space.Name(), got, c)
+			}
+		}
+		if got.H != 7 {
+			t.Fatalf("%s: height %v", space.Name(), got.H)
+		}
+		// The copy must be deep: mutating the returned Coord cannot reach
+		// the store.
+		got.V[0] = -999
+		if st.CoordAt(2).V[0] == -999 {
+			t.Fatalf("%s: CoordAt returned an aliased coordinate", space.Name())
+		}
+		st.SetZeroAt(2)
+		if st.NormAt(2) != space.NormOf(space.Zero()) {
+			t.Fatalf("%s: SetZeroAt left norm %v", space.Name(), st.NormAt(2))
+		}
+	}
+}
+
+func TestStoreViewAliases(t *testing.T) {
+	st := NewStore(Euclidean(2), 2)
+	st.SetCoordAt(1, Coord{V: []float64{3, 4}})
+	v := st.ViewAt(1)
+	if v.V[0] != 3 || v.V[1] != 4 {
+		t.Fatalf("view %v", v)
+	}
+	st.SetCoordAt(1, Coord{V: []float64{5, 12}})
+	if v.V[0] != 5 || v.V[1] != 12 {
+		t.Fatal("ViewAt must alias the flat buffer")
+	}
+}
+
+// TestStoreMatchesSpace cross-checks every store kernel against the Coord
+// reference implementation on random data, in both plain and height
+// spaces: the flat path must agree bit-for-bit.
+func TestStoreMatchesSpace(t *testing.T) {
+	for _, space := range []Space{Euclidean(2), Euclidean(5), EuclideanHeight(2)} {
+		rng := rand.New(rand.NewSource(7))
+		n := 40
+		st := NewStore(space, n)
+		coords := make([]Coord, n)
+		for i := range coords {
+			coords[i] = space.Random(rng, 200)
+			st.SetCoordAt(i, coords[i])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got, want := st.Dist(i, j), space.Dist(coords[i], coords[j]); got != want {
+					t.Fatalf("%s Dist(%d,%d) = %v, want %v", space.Name(), i, j, got, want)
+				}
+			}
+			if got, want := st.NormAt(i), space.NormOf(coords[i]); got != want {
+				t.Fatalf("%s NormAt(%d) = %v, want %v", space.Name(), i, got, want)
+			}
+			remote := space.Random(rng, 200)
+			if got, want := st.DistToCoord(i, remote), space.Dist(coords[i], remote); got != want {
+				t.Fatalf("%s DistToCoord(%d) = %v, want %v", space.Name(), i, got, want)
+			}
+		}
+
+		// UnitToCoord vs Space.Unit: same direction, same distance. Use
+		// distinct points so no RNG tie-break fires.
+		dir := make([]float64, st.Stride())
+		remote := space.Random(rng, 200)
+		dist := st.UnitToCoord(3, remote, dir, rng)
+		wantUnit, wantDist := space.Unit(coords[3], remote, rng)
+		if dist != wantDist {
+			t.Fatalf("%s UnitToCoord dist %v, want %v", space.Name(), dist, wantDist)
+		}
+		for k := 0; k < space.Dims; k++ {
+			if dir[k] != wantUnit.V[k] {
+				t.Fatalf("%s unit[%d] = %v, want %v", space.Name(), k, dir[k], wantUnit.V[k])
+			}
+		}
+		if dir[space.Dims] != wantUnit.H {
+			t.Fatalf("%s unit height %v, want %v", space.Name(), dir[space.Dims], wantUnit.H)
+		}
+
+		// DisplaceAt vs Space.Displace (including the height clamp).
+		f := -3.5
+		want := space.Displace(coords[3], wantUnit, f)
+		if !st.DisplaceAt(3, dir, f) {
+			t.Fatalf("%s DisplaceAt rejected a finite displacement", space.Name())
+		}
+		got := st.CoordAt(3)
+		for k := 0; k < space.Dims; k++ {
+			if got.V[k] != want.V[k] {
+				t.Fatalf("%s DisplaceAt[%d] = %v, want %v", space.Name(), k, got.V[k], want.V[k])
+			}
+		}
+		if got.H != want.H {
+			t.Fatalf("%s DisplaceAt height %v, want %v", space.Name(), got.H, want.H)
+		}
+	}
+}
+
+func TestStoreUnitCoincidentIsRandomUnit(t *testing.T) {
+	// Heights can never sum to zero, so coincidence only happens in plain
+	// spaces.
+	plain := Euclidean(3)
+	ps := NewStore(plain, 1)
+	ps.SetCoordAt(0, Coord{V: []float64{1, 2, 3}})
+	dir := make([]float64, ps.Stride())
+	dist := ps.UnitToCoord(0, Coord{V: []float64{1, 2, 3}}, dir, rand.New(rand.NewSource(1)))
+	if dist != 0 {
+		t.Fatalf("coincident dist %v", dist)
+	}
+	sum := 0.0
+	for k := 0; k < plain.Dims; k++ {
+		sum += dir[k] * dir[k]
+	}
+	if !almostEq(math.Sqrt(sum), 1) {
+		t.Fatalf("coincident direction norm %v, want 1", math.Sqrt(sum))
+	}
+	// The tie-break is a shared implementation with Space.Unit: the same
+	// seed must yield the same direction on both paths (draw-order
+	// contract — see randomUnitInto).
+	want, wantDist := plain.Unit(Coord{V: []float64{1, 2, 3}}, Coord{V: []float64{1, 2, 3}}, rand.New(rand.NewSource(1)))
+	if wantDist != 0 {
+		t.Fatalf("reference coincident dist %v", wantDist)
+	}
+	for k := 0; k < plain.Dims; k++ {
+		if dir[k] != want.V[k] {
+			t.Fatalf("coincident tie-break diverges from Space.Unit at %d: %v vs %v", k, dir[k], want.V[k])
+		}
+	}
+}
+
+func TestStoreDisplaceRejectsNonFinite(t *testing.T) {
+	st := NewStore(Euclidean(2), 1)
+	st.SetCoordAt(0, Coord{V: []float64{1, 2}})
+	dir := []float64{1, 0, 0}
+	if st.DisplaceAt(0, dir, math.Inf(1)) {
+		t.Fatal("infinite displacement accepted")
+	}
+	got := st.CoordAt(0)
+	if got.V[0] != 1 || got.V[1] != 2 {
+		t.Fatalf("slot corrupted by rejected displacement: %v", got)
+	}
+}
+
+func TestStoreDistMany(t *testing.T) {
+	space := Euclidean(2)
+	st := NewStore(space, 5)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < st.Len(); i++ {
+		st.RandomAt(i, rng, 100)
+	}
+	js := []int{4, -1, 2, 0}
+	out := []float64{0, -7, 0, 0}
+	st.DistMany(1, js, out)
+	if out[1] != -7 {
+		t.Fatal("negative index slot touched")
+	}
+	for k, j := range js {
+		if j < 0 {
+			continue
+		}
+		if out[k] != st.Dist(1, j) {
+			t.Fatalf("DistMany[%d] = %v, want %v", k, out[k], st.Dist(1, j))
+		}
+	}
+}
+
+func TestStoreCopyRangeAndCoords(t *testing.T) {
+	space := EuclideanHeight(2)
+	rng := rand.New(rand.NewSource(9))
+	src := NewStore(space, 6)
+	for i := 0; i < src.Len(); i++ {
+		src.RandomAt(i, rng, 50)
+	}
+	dst := NewStore(space, 6)
+	dst.CopyRange(src, 2, 5)
+	coordEq := func(a, b Coord) bool {
+		for k := range a.V {
+			if a.V[k] != b.V[k] {
+				return false
+			}
+		}
+		return a.H == b.H
+	}
+	for i := 2; i < 5; i++ {
+		if got, want := dst.CoordAt(i), src.CoordAt(i); !coordEq(got, want) {
+			t.Fatalf("slot %d: %v != %v", i, got, want)
+		}
+	}
+	if !coordEq(dst.CoordAt(0), space.Zero()) {
+		t.Fatal("slot outside the range was written")
+	}
+	dst.CopyFrom(src)
+	cs := dst.Coords()
+	if len(cs) != 6 {
+		t.Fatalf("Coords len %d", len(cs))
+	}
+	for i, c := range cs {
+		if !coordEq(c, src.CoordAt(i)) {
+			t.Fatalf("Coords[%d] mismatch", i)
+		}
+	}
+}
+
+// TestStoreRandomAtMatchesSpaceRandom locks the draw-order contract:
+// RandomAt consumes the RNG exactly like Space.Random, so seeded baselines
+// are identical whichever representation generates them.
+func TestStoreRandomAtMatchesSpaceRandom(t *testing.T) {
+	for _, space := range []Space{Euclidean(3), EuclideanHeight(2)} {
+		st := NewStore(space, 1)
+		st.RandomAt(0, rand.New(rand.NewSource(42)), 500)
+		want := space.Random(rand.New(rand.NewSource(42)), 500)
+		got := st.CoordAt(0)
+		for k := range want.V {
+			if got.V[k] != want.V[k] {
+				t.Fatalf("%s RandomAt[%d] = %v, want %v", space.Name(), k, got.V[k], want.V[k])
+			}
+		}
+		if got.H != want.H {
+			t.Fatalf("%s RandomAt height %v, want %v", space.Name(), got.H, want.H)
+		}
+	}
+}

@@ -51,7 +51,7 @@ func TestRepulsionLandsVictimOnTarget(t *testing.T) {
 	s.SetTap(1, tap)
 	for k := 0; k < 200; k++ {
 		resp := s.Probe(0, 1)
-		s.Node(0).Update(resp)
+		s.ApplyUpdate(0, resp)
 	}
 	victim := s.Coord(0)
 	distToTarget := s.Space().Dist(victim, tap.Target)
@@ -139,7 +139,7 @@ func TestColludeRepelMovesVictimsAwayFromTarget(t *testing.T) {
 	s.SetTap(4, NewVivaldiColludeRepel(4, c, 11))
 	before := s.Space().Dist(s.Coord(2), s.Coord(0))
 	for k := 0; k < 100; k++ {
-		s.Node(2).Update(s.Probe(2, 4))
+		s.ApplyUpdate(2, s.Probe(2, 4))
 	}
 	after := s.Space().Dist(s.Coord(2), s.Coord(0))
 	if after < before*10 {
@@ -153,7 +153,7 @@ func TestColludeLureMovesTargetIntoCluster(t *testing.T) {
 	c := NewConspiracy(2, s.Space(), 5000, 40000, 9)
 	s.SetTap(5, NewVivaldiColludeLure(5, c, s.Space(), 13))
 	for k := 0; k < 150; k++ {
-		s.Node(2).Update(s.Probe(2, 5))
+		s.ApplyUpdate(2, s.Probe(2, 5))
 	}
 	distToCluster := s.Space().Dist(s.Coord(2), c.ClusterCenter)
 	if distToCluster > s.Space().NormOf(c.ClusterCenter)*0.1 {

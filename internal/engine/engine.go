@@ -52,13 +52,23 @@ type CoordSystem interface {
 	// aggregates (NPS landmarks have pinned coordinates and do not).
 	Evaluable(i int) bool
 
-	// Snapshot returns copies of all current coordinates.
+	// Snapshot returns copies of all current coordinates — the boundary
+	// representation, constructed on demand. Hot paths measure through
+	// Store instead.
 	Snapshot() []coordspace.Coord
 
-	// Measure returns every node's mean relative error against the true
-	// matrix over its evaluation peers, sharded across sh. Nodes with
-	// include(i) false (nil = all) get NaN.
-	Measure(peers [][]int, include func(int) bool, sh Sharder) []float64
+	// Store returns the system's live flat coordinate store (read-only to
+	// callers). Measurement sweeps it directly, so the O(n·k) pass is
+	// cache-linear over one contiguous buffer.
+	Store() *coordspace.Store
+
+	// Measure writes every node's mean relative error against the true
+	// matrix over its evaluation peers into out (length Size(); nil
+	// allocates a fresh slice), sharded across sh, and returns it. Nodes
+	// with include(i) false (nil = all) get NaN. Passing the same out
+	// every sample keeps the steady-state measurement loop allocation-
+	// free.
+	Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64
 }
 
 // Injection records what an attack installation decided, for measurement:

@@ -212,9 +212,20 @@ func TestMeasureSharded(t *testing.T) {
 		cs.Step(Serial{})
 	}
 	peers := metrics.PeerSets(m.Size(), 8, 1)
-	want := cs.Measure(peers, nil, Serial{})
-	got := cs.Measure(peers, nil, NewPool(8))
+	want := cs.Measure(peers, nil, Serial{}, nil)
+	got := cs.Measure(peers, nil, NewPool(8), nil)
 	if !reflect.DeepEqual(want, got) {
 		t.Fatal("sharded measurement diverges")
+	}
+	// The flat-store sweep must agree bit-for-bit with the coordinate-slice
+	// reference implementation.
+	ref := metrics.NodeErrors(m, cs.Space(), cs.Snapshot(), peers, nil)
+	if !reflect.DeepEqual(want, ref) {
+		t.Fatal("store-based measurement diverges from the reference path")
+	}
+	// And a caller-provided buffer must be filled in place and returned.
+	buf := make([]float64, cs.Size())
+	if out := cs.Measure(peers, nil, Serial{}, buf); &out[0] != &buf[0] || !reflect.DeepEqual(out, want) {
+		t.Fatal("Measure did not reuse the provided buffer")
 	}
 }

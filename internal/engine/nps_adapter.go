@@ -35,9 +35,10 @@ func (a *npsAdapter) FilterStats() nps.FilterStats { return a.sys.Stats() }
 func (a *npsAdapter) ResetFilterStats()            { a.sys.ResetStats() }
 
 func (a *npsAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
+func (a *npsAdapter) Store() *coordspace.Store     { return a.sys.Store() }
 
-func (a *npsAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder) []float64 {
-	return measure(a.sys.Matrix(), a.sys.Space(), a.Snapshot(), peers, include, sh)
+func (a *npsAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
+	return measure(a.sys.Matrix(), a.sys.Store(), peers, include, sh, out)
 }
 
 func (a *npsAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {

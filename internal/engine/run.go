@@ -324,6 +324,9 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 	malSet := core.MemberSet(malicious)
 
 	u := unitResult{cleanRef: math.NaN()}
+	// One measurement buffer per unit, reused for every sample: the
+	// steady-state measure loop allocates nothing.
+	errs := make([]float64, cs.Size())
 	var inj *Injection
 	injected := false
 	// The honest set excludes the drawn attackers from the first sample
@@ -345,7 +348,7 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 			if !r.Genesis {
 				// The clean reference: converged accuracy at injection
 				// time, before any tap is installed.
-				u.cleanRef = metrics.Mean(cs.Measure(peers, cs.Evaluable, tp))
+				u.cleanRef = metrics.Mean(cs.Measure(peers, cs.Evaluable, tp, errs))
 			}
 			var err error
 			if inj, err = cs.Inject(r.Attack, malicious, repSeed); err != nil {
@@ -369,7 +372,6 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 
 	churnSeed := randx.DeriveSeed(repSeed, "churn", 0)
 	sampleIdx := 0
-	var errs []float64
 	for p := start; p <= total; p += every {
 		if err := advanceTo(p); err != nil {
 			return unitResult{err: err}
@@ -377,7 +379,7 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 		if r.ChurnFrac > 0 && injected && p > injectAt {
 			applyChurn(cs, r.ChurnFrac, churnSeed, sampleIdx, tp, malSet)
 		}
-		errs = cs.Measure(peers, honest, tp)
+		cs.Measure(peers, honest, tp, errs)
 		mean := metrics.Mean(errs)
 		u.ticks = append(u.ticks, p)
 		u.meanErr = append(u.meanErr, mean)
@@ -440,19 +442,19 @@ func applyChurn(cs CoordSystem, frac float64, seed int64, sampleIdx int, sh Shar
 	})
 }
 
-// singleNodeError recomputes one node's error directly (the tracked target
-// may be outside the measured population in rare configurations).
+// singleNodeError recomputes one node's error directly off the flat store
+// (the tracked target may be outside the measured population in rare
+// configurations).
 func singleNodeError(cs CoordSystem, peers [][]int, node int) float64 {
 	m := cs.Matrix()
-	space := cs.Space()
-	coords := cs.Snapshot()
+	st := cs.Store()
 	sum, cnt := 0.0, 0
 	for _, j := range peers[node] {
 		actual := m.RTT(node, j)
 		if actual <= 0 {
 			continue
 		}
-		sum += metrics.RelativeError(actual, space.Dist(coords[node], coords[j]))
+		sum += metrics.RelativeError(actual, st.Dist(node, j))
 		cnt++
 	}
 	if cnt == 0 {

@@ -33,9 +33,10 @@ func (a *vivaldiAdapter) Evaluable(i int) bool        { return true }
 func (a *vivaldiAdapter) ResetNode(i int)             { a.sys.ResetNode(i) }
 
 func (a *vivaldiAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
+func (a *vivaldiAdapter) Store() *coordspace.Store     { return a.sys.Store() }
 
-func (a *vivaldiAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder) []float64 {
-	return measure(a.sys.Matrix(), a.sys.Space(), a.Snapshot(), peers, include, sh)
+func (a *vivaldiAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
+	return measure(a.sys.Matrix(), a.sys.Store(), peers, include, sh, out)
 }
 
 func (a *vivaldiAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {
@@ -109,11 +110,15 @@ func (a *vivaldiAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*
 }
 
 // measure is the shared sharded measurement pass: per-node mean relative
-// error against the true matrix over fixed peer sets.
-func measure(m *latency.Matrix, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool, sh Sharder) []float64 {
-	out := make([]float64, len(coords))
-	sh.ForEach(len(coords), func(_, lo, hi int) {
-		metrics.NodeErrorsRange(m, space, coords, peers, include, lo, hi, out)
+// error against the true matrix over fixed peer sets, swept directly off
+// the flat coordinate store (no snapshot materialisation). out is reused
+// when the caller provides it.
+func measure(m *latency.Matrix, st *coordspace.Store, peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, st.Len())
+	}
+	sh.ForEach(st.Len(), func(_, lo, hi int) {
+		metrics.NodeErrorsStoreRange(m, st, peers, include, lo, hi, out)
 	})
 	return out
 }

@@ -34,13 +34,14 @@ func TestRegistryComplete(t *testing.T) {
 	if _, ok := Get("fig17"); ok {
 		t.Error("fig17 is a diagram, not an experiment — must not be registered")
 	}
-	for _, ext := range []string{"extA", "extB", "extC"} {
+	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k"}
+	for _, ext := range extras {
 		if _, ok := Get(ext); !ok {
 			t.Errorf("extension experiment %s not registered", ext)
 		}
 	}
-	if got := len(List()); got != len(paperFigures)+3 {
-		t.Errorf("registry has %d experiments, want %d", got, len(paperFigures)+3)
+	if got := len(List()); got != len(paperFigures)+len(extras) {
+		t.Errorf("registry has %d experiments, want %d", got, len(paperFigures)+len(extras))
 	}
 }
 
@@ -130,6 +131,44 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(one, eight) {
 			t.Errorf("%s: results differ between 1 and 8 workers", id)
 		}
+	}
+}
+
+// det5kPreset trims pacing so the 5000-node determinism check stays
+// test-sized; the scale5k spec pins the population itself via
+// RunSpec.Nodes, so the preset's Nodes field is irrelevant to it.
+var det5kPreset = Preset{
+	Name:                 "det5k",
+	Nodes:                90,
+	Reps:                 1,
+	Seed:                 13,
+	VivaldiConvergeTicks: 40,
+	VivaldiAttackTicks:   40,
+	MeasureEvery:         20,
+	NPSConvergeRounds:    1,
+	NPSAttackRounds:      1,
+	EvalPeers:            8,
+	NPSSolveIterations:   60,
+}
+
+// TestDeterminism5kAcrossWorkers extends the worker-count contract to the
+// 5000-node scaling spec: the flat-store tick and the sharded measurement
+// pass must stay bit-identical between 1 and 8 workers at real scale,
+// where the shard count (≈157 shards of 32 nodes) far exceeds the pool.
+func TestDeterminism5kAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5000-node run")
+	}
+	one, err := RunWith("scale5k", det5kPreset, 1)
+	if err != nil {
+		t.Fatalf("scale5k workers=1: %v", err)
+	}
+	eight, err := RunWith("scale5k", det5kPreset, 8)
+	if err != nil {
+		t.Fatalf("scale5k workers=8: %v", err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Error("scale5k: results differ between 1 and 8 workers")
 	}
 }
 

@@ -420,6 +420,30 @@ func init() {
 		XLabel: "tick", YLabel: "average relative error",
 		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime, Series: extC,
 	})
+
+	// ---- Scaling probes (ROADMAP: larger-than-paper populations) ----
+	// scale5k and scale10k pin absolute populations with RunSpec.Nodes, so
+	// they run the same workload at every preset — only pacing (tick
+	// counts, measurement cadence) comes from the scale. The fixed 32-wide
+	// shard decomposition means the shard count grows with the population:
+	// these are the workloads where the sharded executor and the flat
+	// coordinate store pay off (see BenchmarkTickSharded5k and
+	// BENCH_engine.json). They are engine scaling specs, not paper figures.
+	for _, sc := range []struct {
+		name  string
+		nodes int
+	}{{"scale5k", 5000}, {"scale10k", 10000}} {
+		engine.Register(engine.ScenarioSpec{
+			Name: sc.name, Figure: fmt.Sprintf("Scaling %d", sc.nodes),
+			Title:  fmt.Sprintf("Vivaldi at %d nodes: disorder injection, honest accuracy", sc.nodes),
+			XLabel: "tick", YLabel: "average relative error",
+			System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
+			Series: []engine.SeriesSpec{
+				oneRun("clean", engine.RunSpec{Nodes: sc.nodes}),
+				oneRun("30% disorder", engine.RunSpec{Nodes: sc.nodes, Frac: 0.30, Attack: disorder()}),
+			},
+		})
+	}
 }
 
 // sizeSweep builds the system-size figures: one series per malicious

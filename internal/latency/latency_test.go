@@ -254,3 +254,95 @@ func TestGenerateKingLikePanicsTinyN(t *testing.T) {
 	}()
 	GenerateKingLike(DefaultKingLike(1), 1)
 }
+
+func TestSaveFormatExact(t *testing.T) {
+	// The strconv.AppendFloat fast path must emit byte-identical output to
+	// the old fmt.Fprintf("%.3f") formatting.
+	m := NewMatrix(3)
+	m.Set(0, 1, 12.3456)
+	m.Set(0, 2, 0.0004) // rounds to 0.000
+	m.Set(1, 2, 99999.9995)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := []string{
+		"rttmatrix 3",
+		"0.000 12.346 0.000",
+		"12.346 0.000 100000.000",
+		"0.000 100000.000 0.000",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), buf.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d: %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestRTTPairsMixedBatch(t *testing.T) {
+	m := NewMatrix(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	srcs := []int{0, 1, 2, 3, 4}
+	dsts := []int{4, 3, 2, 0, 1}
+	out := make([]float64, 5)
+	m.RTTPairs(srcs, dsts, out)
+	for k := range srcs {
+		if out[k] != m.RTT(srcs[k], dsts[k]) {
+			t.Fatalf("pair %d: got %v, want %v", k, out[k], m.RTT(srcs[k], dsts[k]))
+		}
+	}
+	// The self pair (2,2) must read the zero diagonal, not garbage.
+	if out[2] != 0 {
+		t.Fatalf("self pair: %v", out[2])
+	}
+}
+
+func TestRTTPairsNegativeIndicesUntouched(t *testing.T) {
+	m := NewMatrix(4)
+	m.Set(0, 1, 7)
+	m.Set(2, 3, 9)
+	srcs := []int{0, -1, 2, 1}
+	dsts := []int{1, 2, -5, -1}
+	out := []float64{-100, -200, -300, -400}
+	m.RTTPairs(srcs, dsts, out)
+	if out[0] != 7 {
+		t.Fatalf("valid pair overwritten wrong: %v", out[0])
+	}
+	for k, want := range map[int]float64{1: -200, 2: -300, 3: -400} {
+		if out[k] != want {
+			t.Fatalf("slot %d with negative index was touched: %v", k, out[k])
+		}
+	}
+	// A batch of only negative indices must leave everything untouched.
+	out2 := []float64{1, 2}
+	m.RTTPairs([]int{-1, -2}, []int{0, 1}, out2)
+	if out2[0] != 1 || out2[1] != 2 {
+		t.Fatal("all-negative batch touched the output")
+	}
+}
+
+func TestSaveAllocsBounded(t *testing.T) {
+	// The save path must not allocate per value: one format buffer plus
+	// the bufio writer for the whole matrix.
+	m := GenerateKingLike(DefaultKingLike(40), 7)
+	var sink bytes.Buffer
+	sink.Grow(1 << 20)
+	allocs := testing.AllocsPerRun(5, func() {
+		sink.Reset()
+		if err := m.Save(&sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 40×40 = 1600 values; the old fmt path allocated ≥ 1600 times.
+	if allocs > 10 {
+		t.Fatalf("Save allocates %.0f times for a 40-node matrix, want ≤ 10", allocs)
+	}
+}

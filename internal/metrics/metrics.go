@@ -108,6 +108,52 @@ func NodeErrorsRange(m *latency.Matrix, space coordspace.Space, coords []coordsp
 	}
 }
 
+// NodeErrorsStore is NodeErrors over a flat coordinate store — the
+// engine's measurement path. The per-node distance sweep runs through the
+// store's batched DistMany kernel, so the O(n·k) pass reads one contiguous
+// buffer instead of chasing n separate coordinate allocations.
+func NodeErrorsStore(m *latency.Matrix, st *coordspace.Store, peers [][]int, include func(int) bool) []float64 {
+	out := make([]float64, st.Len())
+	NodeErrorsStoreRange(m, st, peers, include, 0, st.Len(), out)
+	return out
+}
+
+// NodeErrorsStoreRange is NodeErrorsStore restricted to nodes [lo, hi),
+// writing into out (which spans all nodes). It allocates nothing: disjoint
+// ranges touch disjoint slots, so the engine shards a measurement pass
+// across workers with one call per shard and a single reused out buffer.
+func NodeErrorsStoreRange(m *latency.Matrix, st *coordspace.Store, peers [][]int, include func(int) bool, lo, hi int, out []float64) {
+	var dists [64]float64 // per-chunk distance batch, stack-allocated
+	for i := lo; i < hi; i++ {
+		if include != nil && !include(i) {
+			out[i] = math.NaN()
+			continue
+		}
+		sum, cnt := 0.0, 0
+		for ps := peers[i]; len(ps) > 0; {
+			chunk := ps
+			if len(chunk) > len(dists) {
+				chunk = chunk[:len(dists)]
+			}
+			ps = ps[len(chunk):]
+			st.DistMany(i, chunk, dists[:len(chunk)])
+			for k, j := range chunk {
+				actual := m.RTT(i, j)
+				if actual <= 0 {
+					continue
+				}
+				sum += RelativeError(actual, dists[k])
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sum / float64(cnt)
+	}
+}
+
 // Mean returns the mean of the non-NaN values.
 func Mean(xs []float64) float64 {
 	sum, n := 0.0, 0
@@ -128,10 +174,24 @@ func Median(xs []float64) float64 {
 	return Percentile(xs, 0.5)
 }
 
+// MedianInto is Median with a caller-provided scratch buffer (see
+// PercentileInto).
+func MedianInto(xs []float64, buf []float64) float64 {
+	return PercentileInto(xs, 0.5, buf)
+}
+
 // Percentile returns the p-quantile (0≤p≤1) of the non-NaN values using
-// nearest-rank on the sorted data.
+// nearest-rank (round half-up) on the ordered data.
 func Percentile(xs []float64, p float64) float64 {
-	clean := make([]float64, 0, len(xs))
+	return PercentileInto(xs, p, nil)
+}
+
+// PercentileInto is Percentile with a caller-provided scratch buffer: the
+// non-NaN values are copied into buf (grown only if cap(buf) < len(xs))
+// and the rank is found by quickselect — expected O(n), no sort, and no
+// allocation once the buffer is warm. xs itself is never mutated.
+func PercentileInto(xs []float64, p float64, buf []float64) float64 {
+	clean := buf[:0]
 	for _, x := range xs {
 		if !math.IsNaN(x) {
 			clean = append(clean, x)
@@ -140,15 +200,76 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(clean) == 0 {
 		return math.NaN()
 	}
-	sort.Float64s(clean)
+	return quickselect(clean, nearestRank(p, len(clean)))
+}
+
+// nearestRank maps a quantile to an index in [0, n): round(p·(n−1)),
+// rounding half-up. Flooring here (the old behaviour) biased P90/P99 low
+// on small samples — e.g. P90 of 5 values picked index 3 instead of 4.
+func nearestRank(p float64, n int) int {
 	if p <= 0 {
-		return clean[0]
+		return 0
 	}
 	if p >= 1 {
-		return clean[len(clean)-1]
+		return n - 1
 	}
-	idx := int(p * float64(len(clean)-1))
-	return clean[idx]
+	idx := int(math.Floor(p*float64(n-1) + 0.5))
+	if idx > n-1 {
+		idx = n - 1
+	}
+	return idx
+}
+
+// quickselect returns the k-th smallest element of a (0-based), partially
+// reordering a in place. Median-of-three pivoting keeps it deterministic
+// and robust on sorted and constant inputs.
+func quickselect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to a[lo].
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		a[lo], a[mid] = a[mid], a[lo]
+		pivot := a[lo]
+
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || a[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if a[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+		}
+		a[lo], a[j] = a[j], a[lo]
+		switch {
+		case j == k:
+			return a[j]
+		case j > k:
+			hi = j - 1
+		default:
+			lo = j + 1
+		}
+	}
+	return a[k]
 }
 
 // Ratio is the paper's relative error ratio: error / errorRef. Values
@@ -189,9 +310,14 @@ func (c CDF) At(x float64) float64 {
 	return float64(idx) / float64(len(c.sorted))
 }
 
-// Quantile returns the value at cumulative fraction p.
+// Quantile returns the value at cumulative fraction p. The sample is
+// already sorted, so this is a direct nearest-rank index — no copying or
+// re-sorting per call (Points(60) used to copy and sort 60 times).
 func (c CDF) Quantile(p float64) float64 {
-	return Percentile(c.sorted, p)
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[nearestRank(p, len(c.sorted))]
 }
 
 // Points samples the CDF at n evenly spaced cumulative fractions,
@@ -213,11 +339,11 @@ func (c CDF) Points(n int) [][2]float64 {
 // random with components in [-scale, scale] (§5.1, scale 50000).
 func RandomBaseline(m *latency.Matrix, space coordspace.Space, peers [][]int, scale float64, seed int64) float64 {
 	rng := randx.NewDerived(seed, "randombaseline", 0)
-	coords := make([]coordspace.Coord, m.Size())
-	for i := range coords {
-		coords[i] = space.Random(rng, scale)
+	st := coordspace.NewStore(space, m.Size())
+	for i := 0; i < st.Len(); i++ {
+		st.RandomAt(i, rng, scale)
 	}
-	return Mean(NodeErrors(m, space, coords, peers, nil))
+	return Mean(NodeErrorsStore(m, st, peers, nil))
 }
 
 // ConvergenceDetector implements §5.2's stabilization rule: the system has

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -146,6 +147,69 @@ func TestMedianAndPercentile(t *testing.T) {
 	}
 	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
 		t.Fatal("percentile extremes wrong")
+	}
+}
+
+// TestPercentileNearestRank locks the nearest-rank rule to round-half-up:
+// the old floor truncation biased P90/P99 low on small samples (P90 of
+// five values returned the 4th smallest instead of the 5th).
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p90 of 5 rounds up", []float64{1, 2, 3, 4, 5}, 0.90, 5},      // idx 3.6 → 4
+		{"p99 of 5 rounds up", []float64{1, 2, 3, 4, 5}, 0.99, 5},      // idx 3.96 → 4
+		{"p75 of 5 half rounds up", []float64{1, 2, 3, 4, 5}, 0.75, 4}, // idx 3.0
+		{"median of 5", []float64{5, 1, 4, 2, 3}, 0.50, 3},
+		{"median of 4 half up", []float64{1, 2, 3, 4}, 0.50, 3},     // idx 1.5 → 2
+		{"p10 of 5 rounds down", []float64{1, 2, 3, 4, 5}, 0.10, 1}, // idx 0.4 → 0
+		{"p25 of 5", []float64{1, 2, 3, 4, 5}, 0.25, 2},             // idx 1.0
+		{"p90 of 11 exact", []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.90, 9},
+		{"single value", []float64{7}, 0.99, 7},
+		{"unsorted input", []float64{9, 0, 7, 3, 5}, 0.90, 9},
+		{"NaNs ignored", []float64{math.NaN(), 1, math.NaN(), 2, 3, 4, 5}, 0.90, 5},
+		{"p0 is min", []float64{4, 4, 1}, 0, 1},
+		{"p1 is max", []float64{4, 4, 9}, 1, 9},
+	}
+	for _, tc := range cases {
+		if got := Percentile(tc.xs, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", tc.name, tc.xs, tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) || !math.IsNaN(Percentile([]float64{math.NaN()}, 0.5)) {
+		t.Error("empty / all-NaN input should yield NaN")
+	}
+}
+
+// TestPercentileIntoReusesBuffer asserts the quickselect path neither
+// mutates its input nor allocates once the scratch buffer is warm, and
+// agrees with a sort-based reference on random-ish data.
+func TestPercentileIntoReusesBuffer(t *testing.T) {
+	xs := []float64{9, 0, 7, 3, 5, 2, 8, 1, 6, 4}
+	orig := append([]float64(nil), xs...)
+	buf := make([]float64, 0, len(xs))
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		want := sorted[int(math.Floor(p*float64(len(sorted)-1)+0.5))]
+		if got := PercentileInto(xs, p, buf); got != want {
+			t.Fatalf("PercentileInto(p=%v) = %v, want %v", p, got, want)
+		}
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("PercentileInto mutated its input")
+		}
+	}
+	if got, want := MedianInto(xs, buf), 5.0; got != want { // idx round(0.5·9)=5 → value 5
+		t.Fatalf("MedianInto = %v, want %v", got, want)
+	}
+	allocs := testing.AllocsPerRun(50, func() { PercentileInto(xs, 0.9, buf) })
+	if allocs != 0 {
+		t.Fatalf("PercentileInto with warm buffer allocates %.1f times, want 0", allocs)
 	}
 }
 

@@ -160,13 +160,16 @@ func (f FilterStats) Ratio() float64 {
 	return float64(f.Malicious) / float64(f.Total)
 }
 
-// System is an NPS deployment over a latency matrix.
+// System is an NPS deployment over a latency matrix. Coordinates live in
+// one flat coordspace.Store: solves warm-start from the stored slot and
+// write their result back in place, and the engine's measurement pass
+// sweeps the flat buffer directly.
 type System struct {
 	cfg        Config
 	m          *latency.Matrix
 	layerOf    []int
 	landmarks  []int
-	coords     []coordspace.Coord
+	store      *coordspace.Store
 	positioned []bool
 	refs       [][]int        // current reference set per node
 	banned     []map[int]bool // per-node refs removed by the security filter
@@ -193,7 +196,7 @@ func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
 		cfg:        cfg,
 		m:          m,
 		layerOf:    make([]int, n),
-		coords:     make([]coordspace.Coord, n),
+		store:      coordspace.NewStore(cfg.Space, n),
 		positioned: make([]bool, n),
 		refs:       make([][]int, n),
 		banned:     make([]map[int]bool, n),
@@ -204,7 +207,6 @@ func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
 	for i := 0; i < n; i++ {
 		s.rngs[i] = randx.NewDerived(seed, "nps-node", i)
 		s.banned[i] = make(map[int]bool)
-		s.coords[i] = cfg.Space.Zero()
 	}
 
 	// Layer 0: well separated permanent landmarks, embedded once.
@@ -213,7 +215,7 @@ func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
 	isLandmark := make(map[int]bool, len(s.landmarks))
 	for k, id := range s.landmarks {
 		isLandmark[id] = true
-		s.coords[id] = lmCoords[k]
+		s.store.SetCoordAt(id, lmCoords[k])
 		s.positioned[id] = true
 		s.layerOf[id] = 0
 	}
@@ -323,7 +325,7 @@ func (s *System) replaceRef(i, r int) {
 // Probe measures reference r from node i and returns what i observed,
 // passing through r's tap if present. Taps can only increase the RTT.
 func (s *System) Probe(i, r int) ProbeReply {
-	honest := ProbeReply{Coord: s.coords[r].Clone(), RTT: s.m.RTT(i, r)}
+	honest := ProbeReply{Coord: s.store.CoordAt(r), RTT: s.m.RTT(i, r)}
 	if tap := s.taps[r]; tap != nil {
 		forged := tap.Respond(i, honest, s)
 		if forged.RTT < honest.RTT {
@@ -349,7 +351,14 @@ type refSample struct {
 // step calls this serially, in a fixed node order, and hands the samples
 // to positionWith.
 func (s *System) collectSamples(i int) []refSample {
-	samples := make([]refSample, 0, len(s.refs[i]))
+	return s.collectSamplesInto(i, nil)
+}
+
+// collectSamplesInto is collectSamples appending into buf (retaining its
+// capacity across rounds); the parallel step reuses per-slot buffers so a
+// steady round reallocates nothing here.
+func (s *System) collectSamplesInto(i int, buf []refSample) []refSample {
+	samples := buf[:0]
 	for _, r := range s.refs[i] {
 		if !s.positioned[r] {
 			continue
@@ -405,8 +414,11 @@ func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
 	if s.cfg.Security && s.positioned[i] {
 		fits := make([]float64, len(samples))
 		worst, worstIdx := -1.0, -1
+		// The fitting error reads the node's current estimate straight off
+		// the flat store (zero-copy view; FitError only reads it).
+		cur := s.store.ViewAt(i)
 		for k, sm := range samples {
-			fits[k] = gnp.FitError(s.cfg.Space, s.coords[i], sm.coord, sm.rtt)
+			fits[k] = gnp.FitError(s.cfg.Space, cur, sm.coord, sm.rtt)
 			if fits[k] > worst {
 				worst, worstIdx = fits[k], k
 			}
@@ -457,11 +469,13 @@ func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
 	if s.cfg.RelativeObjective {
 		position = gnp.PositionHostIter
 	}
-	pos, _ := position(s.cfg.Space, anchors, rtts, s.coords[i], s.rngs[i], s.cfg.SolveIterations)
+	// Warm-start from the stored slot (the solver copies it) and write the
+	// accepted solution back in place.
+	pos, _ := position(s.cfg.Space, anchors, rtts, s.store.ViewAt(i), s.rngs[i], s.cfg.SolveIterations)
 	if !pos.IsValid() {
 		return
 	}
-	s.coords[i] = pos
+	s.store.SetCoordAt(i, pos)
 	s.positioned[i] = true
 }
 
@@ -507,22 +521,20 @@ func (s *System) Space() coordspace.Space { return s.cfg.Space }
 func (s *System) Config() Config { return s.cfg }
 
 // Size returns the population size including landmarks.
-func (s *System) Size() int { return len(s.coords) }
+func (s *System) Size() int { return s.store.Len() }
 
 // Round returns the number of completed positioning rounds.
 func (s *System) Round() int { return s.round }
 
 // Coord returns a copy of node i's current coordinate.
-func (s *System) Coord(i int) coordspace.Coord { return s.coords[i].Clone() }
+func (s *System) Coord(i int) coordspace.Coord { return s.store.CoordAt(i) }
 
 // Coords returns copies of all coordinates.
-func (s *System) Coords() []coordspace.Coord {
-	out := make([]coordspace.Coord, len(s.coords))
-	for i := range out {
-		out[i] = s.coords[i].Clone()
-	}
-	return out
-}
+func (s *System) Coords() []coordspace.Coord { return s.store.Coords() }
+
+// Store returns the live flat coordinate store. It is the engine's
+// measurement path; treat it as read-only outside this package.
+func (s *System) Store() *coordspace.Store { return s.store }
 
 // Positioned reports whether node i has computed a position.
 func (s *System) Positioned(i int) bool { return s.positioned[i] }

@@ -41,8 +41,10 @@ func (s *System) StepParallel(sh Sharder) {
 
 		// Phase 1 (serial, fixed order): collect every node's usable
 		// reference measurements, consulting taps exactly once per probe.
+		// Each slot's buffer is reused across rounds (capacity persists in
+		// parSamples), so a steady round does not reallocate here.
 		for k, i := range ids {
-			samples[k] = s.collectSamples(i)
+			samples[k] = s.collectSamplesInto(i, samples[k])
 		}
 
 		// Phase 2 (sharded): filter + solve, with per-shard filter stats.

@@ -11,14 +11,22 @@ type Sharder interface {
 }
 
 // parallelScratch holds the per-tick buffers StepParallel reuses across
-// ticks to stay allocation-free in steady state.
+// ticks so a steady-state tick (no taps, no sample guard) allocates
+// nothing: the frozen snapshot is a flat store filled by one memcpy per
+// shard, honest responses alias it through zero-copy views, and the phase
+// closures themselves are built once and re-passed to the sharder.
 type parallelScratch struct {
-	frozenCoords []coordspace.Coord // coordinates at tick start
-	frozenErrs   []float64          // error estimates at tick start
-	srcs         []int              // identity indices, for batched lookups
-	targets      []int              // probe target per node (-1 = none)
-	rtts         []float64          // true RTT of each node's probe
-	resps        []ProbeResponse    // what each prober observed
+	frozen     *coordspace.Store // coordinates at tick start (flat copy)
+	frozenErrs []float64         // error estimates at tick start
+	srcs       []int             // identity indices, for batched lookups
+	targets    []int             // probe target per node (-1 = none)
+	rtts       []float64         // true RTT of each node's probe
+	resps      []ProbeResponse   // what each prober observed
+	view       *frozenView       // reused tick-start View
+
+	// The sharded phase bodies, captured once. Rebuilding closures per
+	// tick would heap-allocate them (they escape into the sharder).
+	phase1, phase2, phase4 func(shard, lo, hi int)
 }
 
 // frozenView presents the tick-start snapshot as a read-only View. Taps
@@ -33,29 +41,85 @@ type frozenView struct {
 
 func (v *frozenView) Space() coordspace.Space { return v.s.cfg.Space }
 func (v *frozenView) Coord(i int) coordspace.Coord {
-	return v.scratch.frozenCoords[i].Clone()
+	return v.scratch.frozen.CoordAt(i)
 }
 func (v *frozenView) LocalError(i int) float64 { return v.scratch.frozenErrs[i] }
 func (v *frozenView) TrueRTT(i, j int) float64 { return v.s.m.RTT(i, j) }
 func (v *frozenView) Tick() int                { return v.s.tick }
-func (v *frozenView) Size() int                { return len(v.s.nodes) }
+func (v *frozenView) Size() int                { return v.s.Size() }
 
 func (s *System) scratch() *parallelScratch {
-	if s.par == nil || len(s.par.targets) != len(s.nodes) {
-		n := len(s.nodes)
-		s.par = &parallelScratch{
-			frozenCoords: make([]coordspace.Coord, n),
-			frozenErrs:   make([]float64, n),
-			srcs:         make([]int, n),
-			targets:      make([]int, n),
-			rtts:         make([]float64, n),
-			resps:        make([]ProbeResponse, n),
-		}
-		for i := range s.par.srcs {
-			s.par.srcs[i] = i
+	if s.par != nil && len(s.par.targets) == s.Size() {
+		return s.par
+	}
+	n := s.Size()
+	sc := &parallelScratch{
+		frozen:     coordspace.NewStore(s.cfg.Space, n),
+		frozenErrs: make([]float64, n),
+		srcs:       make([]int, n),
+		targets:    make([]int, n),
+		rtts:       make([]float64, n),
+		resps:      make([]ProbeResponse, n),
+	}
+	s.dirs() // the phases run sharded; allocate their dir scratch up front
+	for i := range sc.srcs {
+		sc.srcs[i] = i
+	}
+	sc.view = &frozenView{s: s, scratch: sc}
+
+	// Phase 1: freeze the tick-start state (flat memcpy per shard) and
+	// draw each node's probe target from its own stream.
+	sc.phase1 = func(_, lo, hi int) {
+		sc.frozen.CopyRange(s.store, lo, hi)
+		copy(sc.frozenErrs[lo:hi], s.errs[lo:hi])
+		for i := lo; i < hi; i++ {
+			nbrs := s.neighbors[i]
+			if len(nbrs) == 0 {
+				sc.targets[i] = -1
+				continue
+			}
+			sc.targets[i] = nbrs[s.rngs[i].Intn(len(nbrs))]
 		}
 	}
-	return s.par
+
+	// Phase 2: resolve substrate RTTs and honest responses. Honest
+	// coordinates are zero-copy views into the frozen store — valid for
+	// the rest of the tick, consumed read-only by phase 4.
+	sc.phase2 = func(_, lo, hi int) {
+		s.m.RTTPairs(sc.srcs[lo:hi], sc.targets[lo:hi], sc.rtts[lo:hi])
+		for i := lo; i < hi; i++ {
+			j := sc.targets[i]
+			if j < 0 || s.taps[j] != nil {
+				continue
+			}
+			sc.resps[i] = ProbeResponse{
+				Coord: sc.frozen.ViewAt(j),
+				Error: sc.frozenErrs[j],
+				RTT:   sc.rtts[i],
+			}
+		}
+	}
+
+	// Phase 4: apply the update rule in place on the live store. Each
+	// node touches only its own slot, error, RNG stream and dir scratch.
+	sc.phase4 = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if sc.targets[i] < 0 || s.taps[i] != nil {
+				continue // no probe, or malicious (does not move itself)
+			}
+			resp := sc.resps[i]
+			if s.cfg.SampleGuard != nil {
+				var ok bool
+				if resp, ok = s.cfg.SampleGuard(i, resp, sc.view); !ok {
+					continue
+				}
+			}
+			applyRule(s.cfg, s.store, i, &s.errs[i], s.rngs[i], resp, s.dirAt(i))
+		}
+	}
+
+	s.par = sc
+	return sc
 }
 
 // StepParallel runs one simulation tick sharded across sh. It uses
@@ -75,81 +139,37 @@ func (s *System) scratch() *parallelScratch {
 //   - responses that pass through an attack tap are computed in a fixed
 //     serial sweep in prober order, because taps hold mutable state (their
 //     own RNG streams, conspiracy caches) shared across probers.
+//
+// In steady state (no taps, no sample guard) a tick performs zero heap
+// allocations: see parallelScratch and TestStepParallelSteadyStateAllocs.
 func (s *System) StepParallel(sh Sharder) {
 	s.tick++
-	n := len(s.nodes)
+	n := s.Size()
 	sc := s.scratch()
-	view := &frozenView{s: s, scratch: sc}
 
-	// Phase 1 (sharded): freeze the tick-start state and draw each node's
-	// probe target from its own stream; batch the substrate lookups.
-	sh.ForEach(n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			// Nodes replace (never mutate) their coordinate on update, so
-			// sharing the tick-start value is safe without cloning.
-			sc.frozenCoords[i] = s.nodes[i].coord
-			sc.frozenErrs[i] = s.nodes[i].err
-			nbrs := s.neighbors[i]
-			if len(nbrs) == 0 {
-				sc.targets[i] = -1
-				continue
-			}
-			sc.targets[i] = nbrs[s.rngs[i].Intn(len(nbrs))]
-		}
-	})
-
-	// Phase 2 (sharded): resolve substrate RTTs and honest responses.
-	// Responses from tapped targets are filled by phase 3.
-	sh.ForEach(n, func(_, lo, hi int) {
-		s.m.RTTPairs(sc.srcs[lo:hi], sc.targets[lo:hi], sc.rtts[lo:hi])
-		for i := lo; i < hi; i++ {
-			j := sc.targets[i]
-			if j < 0 || s.taps[j] != nil {
-				continue
-			}
-			sc.resps[i] = ProbeResponse{
-				Coord: sc.frozenCoords[j],
-				Error: sc.frozenErrs[j],
-				RTT:   sc.rtts[i],
-			}
-		}
-	})
+	sh.ForEach(n, sc.phase1)
+	sh.ForEach(n, sc.phase2)
 
 	// Phase 3 (serial, fixed order): forged responses. Taps carry mutable
 	// state shared across probers, so they are consulted exactly once per
-	// probe, in ascending prober order — the same order every run.
+	// probe, in ascending prober order — the same order every run. Honest
+	// inputs are deep-copied here: a tap may retain what it was handed.
 	for i := 0; i < n; i++ {
 		j := sc.targets[i]
 		if j < 0 || s.taps[j] == nil {
 			continue
 		}
 		honest := ProbeResponse{
-			Coord: sc.frozenCoords[j].Clone(),
+			Coord: sc.frozen.CoordAt(j),
 			Error: sc.frozenErrs[j],
 			RTT:   sc.rtts[i],
 		}
-		forged := s.taps[j].Respond(i, honest, view)
+		forged := s.taps[j].Respond(i, honest, sc.view)
 		if forged.RTT < honest.RTT {
 			forged.RTT = honest.RTT // delays only; cannot shorten physics
 		}
 		sc.resps[i] = forged
 	}
 
-	// Phase 4 (sharded): apply the update rule. Each node touches only its
-	// own state and RNG stream.
-	sh.ForEach(n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if sc.targets[i] < 0 || s.taps[i] != nil {
-				continue // no probe, or malicious (does not move itself)
-			}
-			resp := sc.resps[i]
-			if s.cfg.SampleGuard != nil {
-				var ok bool
-				if resp, ok = s.cfg.SampleGuard(i, resp, view); !ok {
-					continue
-				}
-			}
-			s.nodes[i].Update(resp)
-		}
-	})
+	sh.ForEach(n, sc.phase4)
 }

@@ -37,7 +37,7 @@ func (r *Runner) Sim() *simnet.Sim { return r.sim }
 // neighbour every TickInterval, with a deterministic per-node phase shift
 // derived from its RNG stream.
 func (r *Runner) Start() {
-	for i := range r.Sys.nodes {
+	for i := 0; i < r.Sys.Size(); i++ {
 		i := i
 		phase := time.Duration(r.Sys.rngs[i].Int63n(int64(TickInterval)))
 		r.sim.At(phase, func() { r.probeLoop(i) })
@@ -62,7 +62,7 @@ func (r *Runner) probeLoop(i int) {
 					return
 				}
 			}
-			r.Sys.nodes[i].Update(resp)
+			r.Sys.ApplyUpdate(i, resp)
 		})
 	}
 	r.sim.After(TickInterval, func() { r.probeLoop(i) })

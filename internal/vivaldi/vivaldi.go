@@ -8,6 +8,12 @@
 // latency.Matrix with the paper's neighbour structure (64 springs per node,
 // half of them to hosts closer than 50 ms) and exposes the probe-response
 // hook that the attack framework (internal/core) taps.
+//
+// Population state lives in a coordspace.Store — one flat []float64
+// holding every coordinate — so the per-tick sweep is cache-linear and the
+// update rule runs in place with no allocation; Node shares the same flat
+// kernel through a one-slot store. Coord values are materialised only at
+// the API boundary (Coord, Coords, Probe).
 package vivaldi
 
 import (
@@ -98,44 +104,18 @@ type ProbeResponse struct {
 	RTT   float64 // milliseconds
 }
 
-// Node is the per-host Vivaldi state machine.
-type Node struct {
-	cfg   Config
-	coord coordspace.Coord
-	err   float64
-	rng   *rand.Rand
-}
-
-// NewNode returns a node at the origin with the initial error estimate.
-func NewNode(cfg Config, rng *rand.Rand) *Node {
-	cfg = cfg.withDefaults()
-	return &Node{cfg: cfg, coord: cfg.Space.Zero(), err: cfg.InitialError, rng: rng}
-}
-
-// Coord returns a copy of the node's current coordinate.
-func (n *Node) Coord() coordspace.Coord { return n.coord.Clone() }
-
-// Error returns the node's current local error estimate.
-func (n *Node) Error() float64 { return n.err }
-
-// SetCoord overrides the node's coordinate (used by attack bootstrap and
-// tests).
-func (n *Node) SetCoord(c coordspace.Coord) { n.coord = c.Clone() }
-
-// SetError overrides the node's local error estimate.
-func (n *Node) SetError(e float64) { n.err = n.clampErr(e) }
-
-func (n *Node) clampErr(e float64) float64 {
-	if math.IsNaN(e) || e < n.cfg.MinError {
-		return n.cfg.MinError
+func clampErr(cfg Config, e float64) float64 {
+	if math.IsNaN(e) || e < cfg.MinError {
+		return cfg.MinError
 	}
-	if e > n.cfg.MaxError {
-		return n.cfg.MaxError
+	if e > cfg.MaxError {
+		return cfg.MaxError
 	}
 	return e
 }
 
-// Update applies one measurement sample using the §3.2 rules:
+// applyRule applies one measurement sample to slot i of st using the §3.2
+// rules:
 //
 //	w  = ei / (ei + ej)
 //	es = | ‖xi−xj‖ − rtt | / rtt
@@ -143,34 +123,73 @@ func (n *Node) clampErr(e float64) float64 {
 //	xi = xi + δ · (rtt − ‖xi−xj‖) · u(xi − xj)
 //	ei = es·w + ei·(1−w)
 //
-// Samples with non-positive RTT or invalid remote coordinates are ignored.
-func (n *Node) Update(resp ProbeResponse) {
-	if resp.RTT <= 0 || !n.cfg.Space.Compatible(resp.Coord) {
+// The displacement happens in place on the flat store; dir is stride-sized
+// scratch for the unit vector, so a steady-state update allocates nothing.
+// Samples with non-positive RTT or invalid remote coordinates are ignored,
+// and a displacement that would produce a non-finite coordinate leaves
+// local state untouched, however hostile the sample.
+func applyRule(cfg Config, st *coordspace.Store, i int, errp *float64, rng *rand.Rand, resp ProbeResponse, dir []float64) {
+	if resp.RTT <= 0 || !cfg.Space.Compatible(resp.Coord) {
 		return
 	}
 	ej := resp.Error
 	if math.IsNaN(ej) || ej < 0 {
 		return
 	}
-	if ej < n.cfg.MinError {
-		ej = n.cfg.MinError
+	if ej < cfg.MinError {
+		ej = cfg.MinError
 	}
-	w := n.err / (n.err + ej)
-	unit, dist := n.cfg.Space.Unit(n.coord, resp.Coord, n.rng)
+	ei := *errp
+	w := ei / (ei + ej)
+	dist := st.UnitToCoord(i, resp.Coord, dir, rng)
 	if math.IsInf(dist, 0) {
 		return // absurd remote coordinate; distance overflowed
 	}
 	es := math.Abs(dist-resp.RTT) / resp.RTT
-	delta := n.cfg.Cc * w
-	if n.cfg.ConstantDelta > 0 {
-		delta = n.cfg.ConstantDelta
+	delta := cfg.Cc * w
+	if cfg.ConstantDelta > 0 {
+		delta = cfg.ConstantDelta
 	}
-	moved := n.cfg.Space.Displace(n.coord, unit, delta*(resp.RTT-dist))
-	if !moved.IsValid() {
-		return // never corrupt local state, however hostile the sample
+	if !st.DisplaceAt(i, dir, delta*(resp.RTT-dist)) {
+		return // never corrupt local state
 	}
-	n.coord = moved
-	n.err = n.clampErr(es*w + n.err*(1-w))
+	*errp = clampErr(cfg, es*w+ei*(1-w))
+}
+
+// Node is the per-host Vivaldi state machine: a one-slot coordinate store
+// driven by the same flat update kernel the population simulation uses, so
+// a steady-state Update allocates nothing.
+type Node struct {
+	cfg Config
+	st  *coordspace.Store
+	err float64
+	rng *rand.Rand
+	dir []float64 // stride-sized scratch for the update kernel
+}
+
+// NewNode returns a node at the origin with the initial error estimate.
+func NewNode(cfg Config, rng *rand.Rand) *Node {
+	cfg = cfg.withDefaults()
+	st := coordspace.NewStore(cfg.Space, 1)
+	return &Node{cfg: cfg, st: st, err: cfg.InitialError, rng: rng, dir: make([]float64, st.Stride())}
+}
+
+// Coord returns a copy of the node's current coordinate.
+func (n *Node) Coord() coordspace.Coord { return n.st.CoordAt(0) }
+
+// Error returns the node's current local error estimate.
+func (n *Node) Error() float64 { return n.err }
+
+// SetCoord overrides the node's coordinate (used by attack bootstrap and
+// tests).
+func (n *Node) SetCoord(c coordspace.Coord) { n.st.SetCoordAt(0, c) }
+
+// SetError overrides the node's local error estimate.
+func (n *Node) SetError(e float64) { n.err = clampErr(n.cfg, e) }
+
+// Update applies one measurement sample (see applyRule).
+func (n *Node) Update(resp ProbeResponse) {
+	applyRule(n.cfg, n.st, 0, &n.err, n.rng, resp, n.dir)
 }
 
 // Tap is the probe-path interception point used by the attack framework.
@@ -193,16 +212,39 @@ type View interface {
 	Size() int
 }
 
-// System simulates a Vivaldi population over a latency matrix.
+// System simulates a Vivaldi population over a latency matrix. All
+// coordinates live in one flat coordspace.Store; error estimates in a flat
+// []float64 alongside it.
 type System struct {
 	cfg       Config
 	m         *latency.Matrix
-	nodes     []*Node
+	store     *coordspace.Store
+	errs      []float64
 	neighbors [][]int
 	taps      []Tap
 	rngs      []*rand.Rand
 	tick      int
+	dirBuf    []float64        // n×stride unit-vector scratch for the update kernel
 	par       *parallelScratch // reusable buffers for StepParallel
+}
+
+// dirs returns the n×stride unit-vector scratch, allocating it on first
+// use. It is shared by Step, ApplyUpdate and StepParallel's update phase;
+// serial-only users (the event-driven runner, tests) therefore never
+// materialise the full parallel scratch just to apply one sample.
+func (s *System) dirs() []float64 {
+	if want := s.Size() * (s.cfg.Space.Dims + 1); len(s.dirBuf) != want {
+		s.dirBuf = make([]float64, want)
+	}
+	return s.dirBuf
+}
+
+// dirAt returns node i's stride-sized slice of the unit-vector scratch.
+// Callers must have ensured allocation via dirs() on this goroutine first
+// (the sharded phases rely on that).
+func (s *System) dirAt(i int) []float64 {
+	stride := s.cfg.Space.Dims + 1
+	return s.dirBuf[i*stride : (i+1)*stride]
 }
 
 var _ View = (*System)(nil)
@@ -215,14 +257,15 @@ func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
 	s := &System{
 		cfg:       cfg,
 		m:         m,
-		nodes:     make([]*Node, n),
+		store:     coordspace.NewStore(cfg.Space, n),
+		errs:      make([]float64, n),
 		neighbors: make([][]int, n),
 		taps:      make([]Tap, n),
 		rngs:      make([]*rand.Rand, n),
 	}
 	for i := 0; i < n; i++ {
 		s.rngs[i] = randx.NewDerived(seed, "vivaldi-node", i)
-		s.nodes[i] = NewNode(cfg, s.rngs[i])
+		s.errs[i] = cfg.InitialError
 	}
 	selRng := randx.NewDerived(seed, "vivaldi-neighbors", 0)
 	for i := 0; i < n; i++ {
@@ -283,7 +326,7 @@ func pickNeighbors(m *latency.Matrix, i int, cfg Config, rng *rand.Rand) []int {
 }
 
 // Size returns the population size.
-func (s *System) Size() int { return len(s.nodes) }
+func (s *System) Size() int { return len(s.errs) }
 
 // Space returns the embedding space.
 func (s *System) Space() coordspace.Space { return s.cfg.Space }
@@ -295,19 +338,17 @@ func (s *System) Config() Config { return s.cfg }
 func (s *System) Tick() int { return s.tick }
 
 // Coord returns a copy of node i's coordinate.
-func (s *System) Coord(i int) coordspace.Coord { return s.nodes[i].Coord() }
+func (s *System) Coord(i int) coordspace.Coord { return s.store.CoordAt(i) }
 
 // Coords returns copies of all coordinates, indexed by node.
-func (s *System) Coords() []coordspace.Coord {
-	out := make([]coordspace.Coord, len(s.nodes))
-	for i, nd := range s.nodes {
-		out[i] = nd.Coord()
-	}
-	return out
-}
+func (s *System) Coords() []coordspace.Coord { return s.store.Coords() }
+
+// Store returns the live flat coordinate store. It is the engine's
+// measurement path; treat it as read-only outside this package.
+func (s *System) Store() *coordspace.Store { return s.store }
 
 // LocalError returns node i's local error estimate.
-func (s *System) LocalError(i int) float64 { return s.nodes[i].Error() }
+func (s *System) LocalError(i int) float64 { return s.errs[i] }
 
 // TrueRTT returns the underlying matrix RTT between i and j.
 func (s *System) TrueRTT(i, j int) float64 { return s.m.RTT(i, j) }
@@ -315,18 +356,29 @@ func (s *System) TrueRTT(i, j int) float64 { return s.m.RTT(i, j) }
 // Matrix returns the underlying latency matrix.
 func (s *System) Matrix() *latency.Matrix { return s.m }
 
-// Node returns the underlying node state machine for i (tests and the
-// defense package use this; experiments should not).
-func (s *System) Node(i int) *Node { return s.nodes[i] }
-
 // Neighbors returns node i's spring set (not a copy; do not mutate).
 func (s *System) Neighbors(i int) []int { return s.neighbors[i] }
+
+// ApplyUpdate applies one measurement sample to node i using the §3.2
+// update rule — the per-node entry point for the event-driven runner,
+// tests and attack bootstraps. Simulations go through Step/StepParallel.
+func (s *System) ApplyUpdate(i int, resp ProbeResponse) {
+	s.dirs()
+	applyRule(s.cfg, s.store, i, &s.errs[i], s.rngs[i], resp, s.dirAt(i))
+}
+
+// SetNodeCoord overrides node i's coordinate (tests and attack bootstrap).
+func (s *System) SetNodeCoord(i int, c coordspace.Coord) { s.store.SetCoordAt(i, c) }
+
+// SetNodeError overrides node i's local error estimate.
+func (s *System) SetNodeError(i int, e float64) { s.errs[i] = clampErr(s.cfg, e) }
 
 // ResetNode returns node i to its just-joined state (origin coordinate,
 // initial error). Experiments use it to model churn: a departing host's
 // slot is taken by a fresh join that must re-converge from scratch.
 func (s *System) ResetNode(i int) {
-	s.nodes[i] = NewNode(s.cfg, s.rngs[i])
+	s.store.SetZeroAt(i)
+	s.errs[i] = s.cfg.InitialError
 }
 
 // SetTap installs (or, with nil, removes) a probe tap on node i. All
@@ -344,8 +396,8 @@ func (s *System) IsMalicious(i int) bool { return s.taps[i] != nil }
 // may falsify coordinates and error and may only *increase* the RTT.
 func (s *System) Probe(i, j int) ProbeResponse {
 	honest := ProbeResponse{
-		Coord: s.nodes[j].Coord(),
-		Error: s.nodes[j].Error(),
+		Coord: s.store.CoordAt(j),
+		Error: s.errs[j],
 		RTT:   s.m.RTT(i, j),
 	}
 	if tap := s.taps[j]; tap != nil {
@@ -359,12 +411,15 @@ func (s *System) Probe(i, j int) ProbeResponse {
 }
 
 // Step runs one simulation tick: every node probes one uniformly random
-// neighbour and applies the update rule. Malicious nodes still probe (they
+// neighbour and applies the update rule, in place, in node order
+// (Gauss-Seidel semantics — a probe may observe coordinates already
+// updated earlier in the same tick). Malicious nodes still probe (they
 // must appear to participate) but do not move their own coordinates, since
 // they answer with forged state anyway.
 func (s *System) Step() {
 	s.tick++
-	for i, nd := range s.nodes {
+	s.dirs()
+	for i := 0; i < s.Size(); i++ {
 		nbrs := s.neighbors[i]
 		if len(nbrs) == 0 {
 			continue
@@ -380,7 +435,7 @@ func (s *System) Step() {
 				continue
 			}
 		}
-		nd.Update(resp)
+		applyRule(s.cfg, s.store, i, &s.errs[i], s.rngs[i], resp, s.dirAt(i))
 	}
 }
 
