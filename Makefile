@@ -8,7 +8,7 @@ SHELL := /bin/bash -o pipefail
 BENCHTIME ?= 1x
 BENCH     ?= .
 
-.PHONY: test bench race
+.PHONY: test bench bench-guard bench-check race
 
 test:
 	go build ./... && go test ./...
@@ -22,3 +22,29 @@ race:
 #   make bench BENCHTIME=3x BENCH='BenchmarkEngineParallel|TickSharded|Measure5k'
 bench:
 	go test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . ./internal/... | tee bench.txt
+
+# Allocation regression gate: the substrate and steady-state tick
+# benchmarks must show the sharded tick within its allocs/op ceiling.
+# The PR that introduced the flat coordinate store made a steady tick
+# allocation-free on the serial path; an 8-worker pool adds only
+# goroutine bookkeeping (~30 allocs). The ceiling of 64 allocs/op guards
+# that invariant permanently — a per-node or per-probe allocation at
+# 5000 nodes would show up as thousands.
+#
+# bench-guard runs the relevant benchmark subset and checks it;
+# bench-check applies the check to an existing output file (the CI bench
+# job points it at bench.txt from the full `make bench` run, so the
+# benchmarks execute once per job).
+TICK_ALLOC_CEILING ?= 64
+BENCH_GUARD_FILE   ?= bench_guard.txt
+bench-guard:
+	go test -run '^$$' -bench 'BenchmarkTickSharded5k|BenchmarkRTTPairsPacked|BenchmarkRTTPairsDense|BenchmarkMeasure25kModel|BenchmarkSubstrate' \
+		-benchmem -benchtime 1x . | tee bench_guard.txt
+	@$(MAKE) --no-print-directory bench-check BENCH_GUARD_FILE=bench_guard.txt
+
+bench-check:
+	@awk '/^BenchmarkTickSharded5k/ { found=1; allocs=$$(NF-1); \
+		if (allocs+0 > $(TICK_ALLOC_CEILING)) { \
+			printf "FAIL: steady-state sharded tick allocates %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs; exit 1 } \
+		else printf "OK: steady-state sharded tick %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs } \
+		END { if (!found) { print "FAIL: BenchmarkTickSharded5k missing from $(BENCH_GUARD_FILE)"; exit 1 } }' $(BENCH_GUARD_FILE)

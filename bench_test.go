@@ -153,6 +153,120 @@ func BenchmarkMeasure5k(b *testing.B) {
 	}
 }
 
+// Substrate benchmarks: the pluggable latency backends (dense, packed,
+// model) that decouple population size from memory. BenchmarkSubstrate*
+// report B/op for construction — the resident-memory story of the README
+// table — and the RTTPairs/Measure benches the per-lookup cost each
+// backend trades it for.
+
+// BenchmarkRTTPairsPacked measures the packed backend's batched pair
+// kernel on the parallel tick's access pattern: a full population's probe
+// batch resolved in one sweep at 5000 nodes.
+func BenchmarkRTTPairsPacked(b *testing.B) {
+	const n = 5000
+	p := latency.NewKingLikeModel(latency.DefaultKingLike(n), 1).MaterializePacked(nil)
+	srcs := make([]int, n)
+	dsts := make([]int, n)
+	out := make([]float64, n)
+	for i := range srcs {
+		srcs[i] = i
+		dsts[i] = (i*7 + 13) % n
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RTTPairs(srcs, dsts, out)
+	}
+}
+
+// BenchmarkRTTPairsDense is the dense reference for the packed kernel.
+func BenchmarkRTTPairsDense(b *testing.B) {
+	const n = 5000
+	m := benchMatrix(n)
+	srcs := make([]int, n)
+	dsts := make([]int, n)
+	out := make([]float64, n)
+	for i := range srcs {
+		srcs[i] = i
+		dsts[i] = (i*7 + 13) % n
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RTTPairs(srcs, dsts, out)
+	}
+}
+
+// BenchmarkMeasure25kModel measures the sharded measurement pass at
+// 25 000 nodes on the model substrate — every true RTT recomputed on
+// demand from ~600 KB of per-node state — with 24 evaluation peers each,
+// into a reused buffer.
+func BenchmarkMeasure25kModel(b *testing.B) {
+	const n = 25000
+	mo := latency.NewKingLikeModel(latency.DefaultKingLike(n), 1)
+	pool := engine.NewPool(8)
+	cs := engine.NewVivaldiSharded(mo, vivaldi.Config{}, 1, pool)
+	for i := 0; i < 5; i++ {
+		cs.Step(pool)
+	}
+	peers := metrics.PeerSets(n, 24, 1)
+	out := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Measure(peers, nil, pool, out)
+	}
+}
+
+// BenchmarkTickSharded25kModel measures one sharded Vivaldi tick at
+// 25 000 nodes on the model substrate, steady state.
+func BenchmarkTickSharded25kModel(b *testing.B) {
+	const n = 25000
+	mo := latency.NewKingLikeModel(latency.DefaultKingLike(n), 1)
+	pool := engine.NewPool(8)
+	cs := engine.NewVivaldiSharded(mo, vivaldi.Config{}, 1, pool)
+	cs.Step(pool) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Step(pool)
+	}
+}
+
+// Construction cost (ns/op and, with -benchmem, B/op — the memory
+// footprint each backend commits to at 1740 nodes).
+
+func BenchmarkSubstrateDense1740(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		latency.NewKingLikeModel(latency.DefaultKingLike(1740), 1).Materialize(nil)
+	}
+}
+
+func BenchmarkSubstratePacked1740(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		latency.NewKingLikeModel(latency.DefaultKingLike(1740), 1).MaterializePacked(nil)
+	}
+}
+
+func BenchmarkSubstrateModel25k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		latency.NewKingLikeModel(latency.DefaultKingLike(25000), 1)
+	}
+}
+
+// BenchmarkGenerateKingLikeSharded5k measures dense materialisation over
+// the worker pool — the dominant startup cost of the 5k+ scaling specs.
+func BenchmarkGenerateKingLikeSharded5k(b *testing.B) {
+	pool := engine.NewPool(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		latency.GenerateKingLikeSharded(latency.DefaultKingLike(5000), 1, pool)
+	}
+}
+
 // Micro-benchmarks of the hot paths.
 
 func benchMatrix(n int) *latency.Matrix {

@@ -5,6 +5,7 @@
 //
 //	vna-sim -list
 //	vna-sim -scenario fig01 [-preset bench|quick|standard|full] [-workers N] [-format table|csv|plot]
+//	vna-sim -scenario fig09 -substrate packed
 //	vna-sim -scenario all -preset quick -out results/
 //
 // Each scenario prints labelled data series (the rows/curves of the
@@ -12,7 +13,10 @@
 // clean-system error and the random-coordinate baseline. -workers sets the
 // engine's worker-pool width (0 = GOMAXPROCS); it changes wall-clock time
 // only — at a fixed seed the produced series are bit-identical for any
-// worker count. -exp is accepted as an alias of -scenario.
+// worker count. -substrate selects the latency backend (dense, packed or
+// model) for runs that do not pin one; the run banner reports the
+// selected backend and its resident RTT-state size. -exp is accepted as
+// an alias of -scenario.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiment"
+	"repro/internal/latency"
 	"repro/internal/report"
 )
 
@@ -35,6 +40,7 @@ func main() {
 		expFlag      = flag.String("exp", "", "alias of -scenario")
 		presetFlag   = flag.String("preset", "quick", "scale preset: bench, quick, standard or full")
 		workersFlag  = flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS)")
+		subFlag      = flag.String("substrate", "", "latency backend: dense, packed or model (default: per-scenario, dense)")
 		formatFlag   = flag.String("format", "table", "output format: table, csv or plot")
 		outFlag      = flag.String("out", "", "output directory (default: stdout)")
 		listFlag     = flag.Bool("list", false, "list registered scenarios and exit")
@@ -47,7 +53,7 @@ func main() {
 			if sp.Custom != nil {
 				kind = "custom"
 			}
-			fmt.Printf("%-6s %-12s %-8s %s\n", sp.Name, sp.Figure, kind, sp.Title)
+			fmt.Printf("%-9s %-22s %-8s %-7s %s\n", sp.Name, sp.Figure, kind, specSubstrate(sp), sp.Title)
 		}
 		return
 	}
@@ -62,6 +68,15 @@ func main() {
 	preset, err := experiment.PresetByName(*presetFlag)
 	if err != nil {
 		fatal(err)
+	}
+	backend, err := latency.ParseBackend(*subFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *subFlag != "" {
+		// The preset-level override applies to every run that does not
+		// pin its own backend (a 25k spec keeps its model substrate).
+		preset.Substrate = backend
 	}
 	write, ext, err := writer(*formatFlag)
 	if err != nil {
@@ -81,7 +96,9 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running %s at preset %s (workers=%d)...\n", id, preset.Name, *workersFlag)
+		kind, bytes := runSubstrate(id, preset)
+		fmt.Fprintf(os.Stderr, "running %s at preset %s (workers=%d, substrate=%s, ~%s resident)...\n",
+			id, preset.Name, *workersFlag, kind, latency.FormatBytes(bytes))
 		result, err := experiment.RunWith(id, preset, *workersFlag)
 		if err != nil {
 			fatal(err)
@@ -125,6 +142,44 @@ func writer(format string) (func(io.Writer, *experiment.Result) error, string, e
 		}, ".txt", nil
 	}
 	return nil, "", fmt.Errorf("unknown format %q (want table, csv or plot)", format)
+}
+
+// specSubstrate names the backend a scenario's runs pin (-list column):
+// "dense" unless some run selects packed or model.
+func specSubstrate(sp engine.ScenarioSpec) string {
+	kind := latency.BackendDense
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			if r.Substrate != "" {
+				kind = r.Substrate
+			}
+		}
+	}
+	return string(kind)
+}
+
+// runSubstrate reports the backend and resident RTT-state size of a
+// scenario's biggest-footprint run at the preset — what the run banner
+// shows. Resolution is the engine's own (engine.ResolveSubstrate);
+// custom runners go through engine.BaseMatrix and are always dense.
+func runSubstrate(id string, p experiment.Preset) (latency.BackendKind, int64) {
+	sp, ok := engine.Get(id)
+	if !ok || sp.Custom != nil {
+		return latency.BackendDense, latency.BackendBytes(latency.BackendDense, p.Nodes)
+	}
+	kind, bytes := latency.BackendDense, int64(0)
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			k, n := engine.ResolveSubstrate(r, p)
+			if b := latency.BackendBytes(k, n); b > bytes {
+				kind, bytes = k, b
+			}
+		}
+	}
+	if bytes == 0 {
+		bytes = latency.BackendBytes(kind, p.Nodes)
+	}
+	return kind, bytes
 }
 
 func fatal(err error) {

@@ -31,8 +31,9 @@ type CoordSystem interface {
 	// Space returns the embedding geometry.
 	Space() coordspace.Space
 
-	// Matrix returns the underlying latency substrate.
-	Matrix() *latency.Matrix
+	// Substrate returns the underlying latency substrate (dense matrix,
+	// packed triangle, or on-demand model — see latency.BackendKind).
+	Substrate() latency.Substrate
 
 	// Step advances the system by one tick (Vivaldi) or positioning round
 	// (NPS), sharding node updates across sh. Implementations must produce

@@ -16,17 +16,17 @@ type npsAdapter struct {
 }
 
 // NewNPS wraps a fresh NPS deployment over m in the engine interface.
-func NewNPS(m *latency.Matrix, cfg nps.Config, seed int64) CoordSystem {
+func NewNPS(m latency.Substrate, cfg nps.Config, seed int64) CoordSystem {
 	return &npsAdapter{sys: nps.NewSystem(m, cfg, seed)}
 }
 
-func (a *npsAdapter) Kind() SystemKind            { return SystemNPS }
-func (a *npsAdapter) Size() int                   { return a.sys.Size() }
-func (a *npsAdapter) Space() coordspace.Space     { return a.sys.Space() }
-func (a *npsAdapter) Matrix() *latency.Matrix     { return a.sys.Matrix() }
-func (a *npsAdapter) Step(sh Sharder)             { a.sys.StepParallel(sh) }
-func (a *npsAdapter) EligibleAttacker(i int) bool { return !a.sys.IsLandmark(i) }
-func (a *npsAdapter) Evaluable(i int) bool        { return !a.sys.IsLandmark(i) }
+func (a *npsAdapter) Kind() SystemKind             { return SystemNPS }
+func (a *npsAdapter) Size() int                    { return a.sys.Size() }
+func (a *npsAdapter) Space() coordspace.Space      { return a.sys.Space() }
+func (a *npsAdapter) Substrate() latency.Substrate { return a.sys.Substrate() }
+func (a *npsAdapter) Step(sh Sharder)              { a.sys.StepParallel(sh) }
+func (a *npsAdapter) EligibleAttacker(i int) bool  { return !a.sys.IsLandmark(i) }
+func (a *npsAdapter) Evaluable(i int) bool         { return !a.sys.IsLandmark(i) }
 
 func (a *npsAdapter) Layer(i int) int { return a.sys.Layer(i) }
 func (a *npsAdapter) Layers() int     { return a.sys.Config().Layers }
@@ -38,7 +38,7 @@ func (a *npsAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
 func (a *npsAdapter) Store() *coordspace.Store     { return a.sys.Store() }
 
 func (a *npsAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
-	return measure(a.sys.Matrix(), a.sys.Store(), peers, include, sh, out)
+	return measure(a.sys.Substrate(), a.sys.Store(), peers, include, sh, out)
 }
 
 func (a *npsAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {

@@ -245,8 +245,10 @@ func aggregate(us []unitResult) runOutcome {
 	return o
 }
 
-// buildSystem constructs the unit's coordinate system per the run spec.
-func buildSystem(kind SystemKind, r RunSpec, sc Scale, m *latency.Matrix, seed int64) (CoordSystem, error) {
+// buildSystem constructs the unit's coordinate system per the run spec,
+// sharding population construction across sh where the system supports
+// it.
+func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed int64, sh Sharder) (CoordSystem, error) {
 	switch kind {
 	case SystemVivaldi:
 		var space coordspace.Space
@@ -257,7 +259,7 @@ func buildSystem(kind SystemKind, r RunSpec, sc Scale, m *latency.Matrix, seed i
 				space = coordspace.Euclidean(r.Dims)
 			}
 		}
-		return NewVivaldi(m, vivaldi.Config{Space: space}, seed), nil
+		return NewVivaldiSharded(m, vivaldi.Config{Space: space}, seed, sh), nil
 	case SystemNPS:
 		cfg := nps.Config{
 			Security:         r.Security,
@@ -278,23 +280,28 @@ func buildSystem(kind SystemKind, r RunSpec, sc Scale, m *latency.Matrix, seed i
 // seed, the run's population and the repetition index.
 func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult {
 	nodes := r.ResolveNodes(sc)
-	var m *latency.Matrix
+	backend, _ := ResolveSubstrate(r, sc)
+	var m latency.Substrate
 	switch {
 	case nodes == sc.Nodes:
-		m = BaseMatrix(sc)
+		m = BaseSubstrate(sc, backend, tp)
 	case nodes < sc.Nodes:
+		// System-size sweeps draw small subgroups; those stay dense
+		// regardless of the backend (the subgroup of a substrate is a
+		// gather, which only the dense form supports cheaply — see
+		// ResolveSubstrate).
 		m = SubgroupMatrix(sc, nodes)
 	default:
 		// Larger-than-paper population: generate a fresh Internet at the
 		// requested size (cached under its own size key).
 		bigger := sc
 		bigger.Nodes = nodes
-		m = BaseMatrix(bigger)
+		m = BaseSubstrate(bigger, backend, tp)
 	}
 	peers := metrics.PeerSets(m.Size(), sc.EvalPeers, randx.DeriveSeed(sc.Seed, "eval-peers", nodes))
 	repSeed := randx.DeriveSeed(sc.Seed, string(kind)+"-rep", rep)
 
-	cs, err := buildSystem(kind, r, sc, m, repSeed)
+	cs, err := buildSystem(kind, r, sc, m, repSeed, tp)
 	if err != nil {
 		return unitResult{err: err}
 	}
@@ -446,7 +453,7 @@ func applyChurn(cs CoordSystem, frac float64, seed int64, sampleIdx int, sh Shar
 // (the tracked target may be outside the measured population in rare
 // configurations).
 func singleNodeError(cs CoordSystem, peers [][]int, node int) float64 {
-	m := cs.Matrix()
+	m := cs.Substrate()
 	st := cs.Store()
 	sum, cnt := 0.0, 0
 	for _, j := range peers[node] {

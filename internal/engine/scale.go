@@ -33,6 +33,12 @@ type Scale struct {
 
 	// NPS solver cap (see nps.Config.SolveIterations).
 	NPSSolveIterations int
+
+	// Substrate overrides the latency backend for every run that does
+	// not pin one itself (RunSpec.Substrate wins — a 25k-node spec knows
+	// it needs the model backend regardless of the preset). Empty means
+	// dense. The vna-sim -substrate flag sets this.
+	Substrate latency.BackendKind
 }
 
 // Bench is the minimal scale used by the repository's benchmarks and fast
@@ -43,7 +49,7 @@ var Bench = Scale{
 	Name:                 "bench",
 	Nodes:                90,
 	Reps:                 1,
-	Seed:                 7,
+	Seed:                 9,
 	VivaldiConvergeTicks: 500,
 	VivaldiAttackTicks:   500,
 	MeasureEvery:         100,
@@ -114,42 +120,101 @@ func ScaleByName(name string) (Scale, error) {
 	return Scale{}, fmt.Errorf("engine: unknown scale %q (want bench, quick, standard or full)", name)
 }
 
-// matrixCache shares the synthetic Internet across scenarios of a run: the
-// paper uses the *same* King dataset everywhere, with only the attacker
-// draw varying between repetitions. Concurrent units of a parallel
-// scenario run share it through the mutex.
+// substrateCache shares the synthetic Internet across scenarios of a run:
+// the paper uses the *same* King dataset everywhere, with only the
+// attacker draw varying between repetitions. Every backend of one
+// (nodes, seed) pair derives from the same cached O(n) model, so dense,
+// packed and model runs see the same Internet (packed within float32
+// rounding). Concurrent units of a parallel scenario run share the cache
+// through the mutex.
 var (
-	matrixMu    sync.Mutex
-	matrixCache = map[string]*latency.Matrix{}
+	substrateMu    sync.Mutex
+	substrateCache = map[string]latency.Substrate{}
 )
 
-// BaseMatrix returns the scale's full-population latency matrix.
-func BaseMatrix(s Scale) *latency.Matrix {
-	key := fmt.Sprintf("%d/%d", s.Nodes, s.Seed)
-	matrixMu.Lock()
-	defer matrixMu.Unlock()
-	if m, ok := matrixCache[key]; ok {
+// baseModel returns the cached O(n) King-like model of a scale — the
+// common ancestor of every backend.
+func baseModel(s Scale) *latency.Model {
+	key := fmt.Sprintf("%d/%d/model", s.Nodes, s.Seed)
+	if mo, ok := substrateCache[key]; ok {
+		return mo.(*latency.Model)
+	}
+	mo := latency.NewKingLikeModel(latency.DefaultKingLike(s.Nodes), randx.DeriveSeed(s.Seed, "matrix", s.Nodes))
+	substrateCache[key] = mo
+	return mo
+}
+
+// BaseSubstrate returns the scale's full-population latency substrate on
+// the requested backend, materialising dense/packed forms across sh
+// (nil = serial; pair evaluation is order-independent, so the result is
+// bit-identical for any worker count).
+func BaseSubstrate(s Scale, kind latency.BackendKind, sh latency.Sharder) latency.Substrate {
+	substrateMu.Lock()
+	defer substrateMu.Unlock()
+	mo := baseModel(s)
+	switch kind {
+	case latency.BackendModel:
+		return mo
+	case latency.BackendPacked:
+		key := fmt.Sprintf("%d/%d/packed", s.Nodes, s.Seed)
+		if p, ok := substrateCache[key]; ok {
+			return p
+		}
+		p := mo.MaterializePacked(sh)
+		substrateCache[key] = p
+		return p
+	default:
+		key := fmt.Sprintf("%d/%d", s.Nodes, s.Seed)
+		if m, ok := substrateCache[key]; ok {
+			return m
+		}
+		m := mo.Materialize(sh)
+		substrateCache[key] = m
 		return m
 	}
-	m := latency.GenerateKingLike(latency.DefaultKingLike(s.Nodes), randx.DeriveSeed(s.Seed, "matrix", s.Nodes))
-	matrixCache[key] = m
-	return m
+}
+
+// ResolveSubstrate reports the backend and population a run will
+// actually use at a scale — the single statement of the resolution
+// policy (shared by runUnit and the vna-sim run banner): RunSpec pins
+// win over the scale's override, empty means dense, and runs smaller
+// than the scale's population gather a dense subgroup of the dense base
+// at the full population (so that base is what resides).
+func ResolveSubstrate(r RunSpec, sc Scale) (kind latency.BackendKind, nodes int) {
+	nodes = r.ResolveNodes(sc)
+	if nodes < sc.Nodes {
+		return latency.BackendDense, sc.Nodes
+	}
+	kind = r.Substrate
+	if kind == "" {
+		kind = sc.Substrate
+	}
+	if kind == "" {
+		kind = latency.BackendDense
+	}
+	return kind, nodes
+}
+
+// BaseMatrix returns the scale's full-population dense latency matrix.
+func BaseMatrix(s Scale) *latency.Matrix {
+	return BaseSubstrate(s, latency.BackendDense, nil).(*latency.Matrix)
 }
 
 // SubgroupMatrix returns a deterministic k-node subgroup of the scale's
-// matrix (the paper's system-size sweeps, §5.2).
+// matrix (the paper's system-size sweeps, §5.2). Subgroups are small by
+// construction and always dense.
 func SubgroupMatrix(s Scale, k int) *latency.Matrix {
 	if k >= s.Nodes {
 		return BaseMatrix(s)
 	}
 	base := BaseMatrix(s)
 	key := fmt.Sprintf("%d/%d/sub%d", s.Nodes, s.Seed, k)
-	matrixMu.Lock()
-	defer matrixMu.Unlock()
-	if m, ok := matrixCache[key]; ok {
-		return m
+	substrateMu.Lock()
+	defer substrateMu.Unlock()
+	if m, ok := substrateCache[key]; ok {
+		return m.(*latency.Matrix)
 	}
 	sub, _ := latency.RandomSubgroup(base, k, randx.DeriveSeed(s.Seed, "subgroup", k))
-	matrixCache[key] = sub
+	substrateCache[key] = sub
 	return sub
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/latency"
 )
 
 // RunSpec fully determines one simulated run (shared by all repetitions of
@@ -56,6 +58,15 @@ type RunSpec struct {
 	// ChurnFrac replaces this fraction of honest nodes with fresh joins
 	// every measurement period during the attack phase.
 	ChurnFrac float64
+
+	// Substrate selects the latency backend for this run: dense (the
+	// default), packed (float32 upper triangle, ≥4× smaller) or model
+	// (O(n) state, RTTs recomputed on demand — the only backend that
+	// fits 25k–50k-node populations). Empty defers to the scale's
+	// Substrate override, then to dense. A run smaller than the scale's
+	// population always uses a dense subgroup of the scale's base
+	// substrate (subgroups are small by construction).
+	Substrate latency.BackendKind
 
 	// XAxis says which x-value this run contributes to sweep outputs:
 	// the malicious percentage (default), the resolved population size,
@@ -184,6 +195,11 @@ func (sp ScenarioSpec) Validate() error {
 	for _, s := range sp.Series {
 		if len(s.Runs) == 0 {
 			return fmt.Errorf("engine: scenario %s: series %q has no runs", sp.Name, s.Label)
+		}
+		for _, r := range s.Runs {
+			if _, err := latency.ParseBackend(string(r.Substrate)); err != nil {
+				return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
+			}
 		}
 		switch sp.Output {
 		case OutRatioVsTime, OutMeanVsTime, OutTargetVsTime, OutFinalCDF:

@@ -19,24 +19,31 @@ type vivaldiAdapter struct {
 
 // NewVivaldi wraps a fresh Vivaldi population over m in the engine
 // interface.
-func NewVivaldi(m *latency.Matrix, cfg vivaldi.Config, seed int64) CoordSystem {
-	return &vivaldiAdapter{sys: vivaldi.NewSystem(m, cfg, seed)}
+func NewVivaldi(m latency.Substrate, cfg vivaldi.Config, seed int64) CoordSystem {
+	return NewVivaldiSharded(m, cfg, seed, nil)
 }
 
-func (a *vivaldiAdapter) Kind() SystemKind            { return SystemVivaldi }
-func (a *vivaldiAdapter) Size() int                   { return a.sys.Size() }
-func (a *vivaldiAdapter) Space() coordspace.Space     { return a.sys.Space() }
-func (a *vivaldiAdapter) Matrix() *latency.Matrix     { return a.sys.Matrix() }
-func (a *vivaldiAdapter) Step(sh Sharder)             { a.sys.StepParallel(sh) }
-func (a *vivaldiAdapter) EligibleAttacker(i int) bool { return true }
-func (a *vivaldiAdapter) Evaluable(i int) bool        { return true }
-func (a *vivaldiAdapter) ResetNode(i int)             { a.sys.ResetNode(i) }
+// NewVivaldiSharded is NewVivaldi with population construction (spring
+// selection) sharded across sh — bit-identical to the serial form for any
+// worker count, and the way the scenario runner builds 25k+-node systems.
+func NewVivaldiSharded(m latency.Substrate, cfg vivaldi.Config, seed int64, sh Sharder) CoordSystem {
+	return &vivaldiAdapter{sys: vivaldi.NewSystemSharded(m, cfg, seed, sh)}
+}
+
+func (a *vivaldiAdapter) Kind() SystemKind             { return SystemVivaldi }
+func (a *vivaldiAdapter) Size() int                    { return a.sys.Size() }
+func (a *vivaldiAdapter) Space() coordspace.Space      { return a.sys.Space() }
+func (a *vivaldiAdapter) Substrate() latency.Substrate { return a.sys.Substrate() }
+func (a *vivaldiAdapter) Step(sh Sharder)              { a.sys.StepParallel(sh) }
+func (a *vivaldiAdapter) EligibleAttacker(i int) bool  { return true }
+func (a *vivaldiAdapter) Evaluable(i int) bool         { return true }
+func (a *vivaldiAdapter) ResetNode(i int)              { a.sys.ResetNode(i) }
 
 func (a *vivaldiAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
 func (a *vivaldiAdapter) Store() *coordspace.Store     { return a.sys.Store() }
 
 func (a *vivaldiAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
-	return measure(a.sys.Matrix(), a.sys.Store(), peers, include, sh, out)
+	return measure(a.sys.Substrate(), a.sys.Store(), peers, include, sh, out)
 }
 
 func (a *vivaldiAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {
@@ -113,7 +120,7 @@ func (a *vivaldiAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*
 // error against the true matrix over fixed peer sets, swept directly off
 // the flat coordinate store (no snapshot materialisation). out is reused
 // when the caller provides it.
-func measure(m *latency.Matrix, st *coordspace.Store, peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
+func measure(m latency.Substrate, st *coordspace.Store, peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
 	if out == nil {
 		out = make([]float64, st.Len())
 	}

@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	if _, ok := Get("fig17"); ok {
 		t.Error("fig17 is a diagram, not an experiment — must not be registered")
 	}
-	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k"}
+	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k", "attack25k"}
 	for _, ext := range extras {
 		if _, ok := Get(ext); !ok {
 			t.Errorf("extension experiment %s not registered", ext)
@@ -169,6 +169,101 @@ func TestDeterminism5kAcrossWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(one, eight) {
 		t.Error("scale5k: results differ between 1 and 8 workers")
+	}
+}
+
+// TestBackendEquivalence runs the same scenario on the dense and model
+// substrates and requires bit-identical series: both backends evaluate
+// the same per-pair kernel, dense just caches the results. (The packed
+// backend is equivalent within float32 rounding — asserted at the RTT
+// level in internal/latency.)
+func TestBackendEquivalence(t *testing.T) {
+	dense := detScale
+	dense.Substrate = "dense"
+	model := detScale
+	model.Substrate = "model"
+	a, err := RunWith("fig09", dense, 2)
+	if err != nil {
+		t.Fatalf("dense: %v", err)
+	}
+	b, err := RunWith("fig09", model, 2)
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("fig09 series differ between dense and model substrates")
+	}
+}
+
+// det25kPreset trims pacing so the 25 000-node run stays test-sized; the
+// scale25k spec pins both the population (RunSpec.Nodes) and the model
+// substrate (RunSpec.Substrate), so only cadence comes from here.
+var det25kPreset = Preset{
+	Name:                 "det25k",
+	Nodes:                90,
+	Reps:                 1,
+	Seed:                 17,
+	VivaldiConvergeTicks: 8,
+	VivaldiAttackTicks:   8,
+	MeasureEvery:         4,
+	NPSConvergeRounds:    1,
+	NPSAttackRounds:      1,
+	EvalPeers:            4,
+	NPSSolveIterations:   60,
+}
+
+// TestDeterminism25kAcrossWorkers runs the scale25k scenario end-to-end on
+// the model substrate — 25 000 nodes in ~600 KB of RTT state — and asserts
+// the workers-1-vs-8 bit-identity contract at that scale. It is NOT
+// skipped in -short mode: the model backend is what makes a 25k-node run
+// cheap enough for every CI tier, which is exactly the property under
+// test.
+func TestDeterminism25kAcrossWorkers(t *testing.T) {
+	one, err := RunWith("scale25k", det25kPreset, 1)
+	if err != nil {
+		t.Fatalf("scale25k workers=1: %v", err)
+	}
+	eight, err := RunWith("scale25k", det25kPreset, 8)
+	if err != nil {
+		t.Fatalf("scale25k workers=8: %v", err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Error("scale25k: results differ between 1 and 8 workers")
+	}
+	if len(one.Series) != 2 {
+		t.Fatalf("scale25k series %d, want 2", len(one.Series))
+	}
+	for _, s := range one.Series {
+		for k, y := range s.Y {
+			if math.IsNaN(y) {
+				t.Fatalf("series %q: NaN at sample %d", s.Label, k)
+			}
+		}
+	}
+}
+
+// TestAttack25kDegrades is the attack-at-scale probe: the fig09-style
+// colluding isolation curve at 25 000 nodes on the model substrate must
+// still show population-level degradation (error ratio above the clean
+// reference) — the disruption phenomenon survives the backend swap and
+// the 14× population jump.
+func TestAttack25kDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("25k-node attack run")
+	}
+	p := det25kPreset
+	p.VivaldiConvergeTicks = 60
+	p.VivaldiAttackTicks = 60
+	p.MeasureEvery = 20
+	r, err := RunWith("attack25k", p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		last := s.Y[len(s.Y)-1]
+		if !(last > 1.05) {
+			t.Errorf("series %q: final error ratio %.3f, want > 1.05 (attack must degrade accuracy)", s.Label, last)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/coordspace"
 	"repro/internal/engine"
+	"repro/internal/latency"
 )
 
 // This file declares every paper figure as an engine.ScenarioSpec. The
@@ -429,21 +430,53 @@ func init() {
 	// these are the workloads where the sharded executor and the flat
 	// coordinate store pay off (see BenchmarkTickSharded5k and
 	// BENCH_engine.json). They are engine scaling specs, not paper figures.
+	//
+	// scale25k and scale50k additionally pin the O(n) model substrate
+	// (RunSpec.Substrate): at those populations a dense matrix would hold
+	// 5–20 GB, while the model recomputes King-like RTTs on demand from a
+	// few MB of per-node state. All backends derive from the same model,
+	// so the workload — not the Internet — is what changes between the
+	// scaling probes.
 	for _, sc := range []struct {
-		name  string
-		nodes int
-	}{{"scale5k", 5000}, {"scale10k", 10000}} {
+		name    string
+		nodes   int
+		backend latency.BackendKind
+	}{
+		{"scale5k", 5000, ""},
+		{"scale10k", 10000, ""},
+		{"scale25k", 25000, latency.BackendModel},
+		{"scale50k", 50000, latency.BackendModel},
+	} {
 		engine.Register(engine.ScenarioSpec{
 			Name: sc.name, Figure: fmt.Sprintf("Scaling %d", sc.nodes),
 			Title:  fmt.Sprintf("Vivaldi at %d nodes: disorder injection, honest accuracy", sc.nodes),
 			XLabel: "tick", YLabel: "average relative error",
 			System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
 			Series: []engine.SeriesSpec{
-				oneRun("clean", engine.RunSpec{Nodes: sc.nodes}),
-				oneRun("30% disorder", engine.RunSpec{Nodes: sc.nodes, Frac: 0.30, Attack: disorder()}),
+				oneRun("clean", engine.RunSpec{Nodes: sc.nodes, Substrate: sc.backend}),
+				oneRun("30% disorder", engine.RunSpec{Nodes: sc.nodes, Substrate: sc.backend, Frac: 0.30, Attack: disorder()}),
 			},
 		})
 	}
+
+	// attack25k is the attack-at-scale probe: the fig09 colluding
+	// isolation workload (relative error ratio vs time) at 25 000 nodes on
+	// the model substrate — the population-level disruption curve the
+	// paper measures at 1740 nodes, reproduced 14× beyond it to show the
+	// degradation survives the backend swap.
+	var attack25k []engine.SeriesSpec
+	for _, frac := range []float64{0.10, 0.30} {
+		attack25k = append(attack25k, oneRun(percentLabel(frac), engine.RunSpec{
+			Nodes: 25000, Substrate: latency.BackendModel,
+			Frac: frac, Attack: colludeRepel(), ExcludeTarget: true,
+		}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "attack25k", Figure: "Scaling attack 25000",
+		Title:  "Vivaldi colluding isolation at 25k nodes (model substrate): error ratio",
+		XLabel: "tick", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsTime, Series: attack25k,
+	})
 }
 
 // sizeSweep builds the system-size figures: one series per malicious

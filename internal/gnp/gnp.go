@@ -107,7 +107,7 @@ func positionHost(obj func([]float64) float64, space coordspace.Space, anchors [
 // largest median RTT footprint, each subsequent one maximizes the minimum
 // RTT to the landmarks chosen so far. This mirrors the paper's requirement
 // of 20 well separated permanent landmarks (§5.2).
-func SelectLandmarks(m *latency.Matrix, k int) []int {
+func SelectLandmarks(m latency.Substrate, k int) []int {
 	n := m.Size()
 	if k > n {
 		panic("gnp: more landmarks than nodes")
@@ -159,7 +159,7 @@ func contains(xs []int, v int) bool {
 // coordinates and the measured landmark-landmark RTTs. Several random
 // restarts are attempted and the lowest-objective embedding wins. Returns
 // one coordinate per entry of landmarkIDs.
-func SolveLandmarks(m *latency.Matrix, landmarkIDs []int, space coordspace.Space, seed int64) []coordspace.Coord {
+func SolveLandmarks(m latency.Substrate, landmarkIDs []int, space coordspace.Space, seed int64) []coordspace.Coord {
 	const restarts = 8
 	// "Good enough" residual: a numerically perfect embedding of k points.
 	perfect := 1e-8 * float64(len(landmarkIDs)*len(landmarkIDs))
@@ -177,7 +177,7 @@ func SolveLandmarks(m *latency.Matrix, landmarkIDs []int, space coordspace.Space
 	return best
 }
 
-func solveLandmarksOnce(m *latency.Matrix, landmarkIDs []int, space coordspace.Space, seed int64) ([]coordspace.Coord, float64) {
+func solveLandmarksOnce(m latency.Substrate, landmarkIDs []int, space coordspace.Space, seed int64) ([]coordspace.Coord, float64) {
 	rng := randx.New(seed)
 	k := len(landmarkIDs)
 	coords := make([]coordspace.Coord, k)

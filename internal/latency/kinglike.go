@@ -59,10 +59,25 @@ func DefaultKingLike(nodes int) KingLikeConfig {
 	}
 }
 
-// GenerateKingLike builds a synthetic RTT matrix per cfg, deterministically
-// from seed. See the package comment and DESIGN.md §2 for the rationale of
-// each ingredient.
-func GenerateKingLike(cfg KingLikeConfig, seed int64) *Matrix {
+// Model is the O(n) latency backend: the King-like generator's per-node
+// state — plane position and access delay, 24 bytes per host — plus a
+// pair-seed from which every pair's jitter and detour draw derives by
+// hashing. RTTs are recomputed on demand, so a 50k-node Internet holds
+// ~1.2 MB where the dense matrix would hold 20 GB. The same per-pair
+// kernel backs GenerateKingLike: materialising a Model into a dense or
+// packed substrate yields bit-identical (resp. float32-rounded) values,
+// so every figure is reproducible on any backend.
+type Model struct {
+	cfg      KingLikeConfig
+	px, py   []float64 // plane position (ms of one-way core latency)
+	access   []float64 // last-mile delay added to every path (ms)
+	pairSeed uint64    // root of the per-pair hash streams
+}
+
+// NewKingLikeModel builds the O(n) per-node state of a synthetic Internet
+// per cfg, deterministically from seed. See the package comment and
+// DESIGN.md §2 for the rationale of each ingredient.
+func NewKingLikeModel(cfg KingLikeConfig, seed int64) *Model {
 	if cfg.Nodes <= 1 {
 		panic("latency: need at least 2 nodes")
 	}
@@ -87,37 +102,136 @@ func GenerateKingLike(cfg KingLikeConfig, seed int64) *Matrix {
 
 	// Hosts: round-robin across clusters so every region is populated, with
 	// Gaussian spread around the centre and a Pareto access delay.
-	px := make([]float64, cfg.Nodes)
-	py := make([]float64, cfg.Nodes)
-	access := make([]float64, cfg.Nodes)
+	mo := &Model{
+		cfg:      cfg,
+		px:       make([]float64, cfg.Nodes),
+		py:       make([]float64, cfg.Nodes),
+		access:   make([]float64, cfg.Nodes),
+		pairSeed: uint64(randx.DeriveSeed(seed, "kinglike-pairs", cfg.Nodes)),
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c := i % cfg.Clusters
-		px[i] = cx[c] + rng.NormFloat64()*cfg.ClusterSpread
-		py[i] = cy[c] + rng.NormFloat64()*cfg.ClusterSpread
+		mo.px[i] = cx[c] + rng.NormFloat64()*cfg.ClusterSpread
+		mo.py[i] = cy[c] + rng.NormFloat64()*cfg.ClusterSpread
 		a := randx.Pareto(rng, cfg.AccessScale, cfg.AccessShape)
 		if a > cfg.AccessCap {
 			a = cfg.AccessCap
 		}
-		access[i] = a
+		mo.access[i] = a
 	}
+	return mo
+}
 
-	m := NewMatrix(cfg.Nodes)
-	for i := 0; i < cfg.Nodes; i++ {
-		for j := i + 1; j < cfg.Nodes; j++ {
-			dx, dy := px[i]-px[j], py[i]-py[j]
-			core := 2 * math.Hypot(dx, dy) // one-way plane distance -> RTT
-			rtt := core + access[i] + access[j]
-			rtt *= math.Exp(rng.NormFloat64() * cfg.JitterSigma)
-			if randx.Bernoulli(rng, cfg.DetourFraction) {
-				rtt *= randx.Uniform(rng, cfg.DetourMin, cfg.DetourMax)
-			}
-			if rtt < cfg.MinRTT {
-				rtt = cfg.MinRTT
-			}
-			m.Set(i, j, rtt)
+// Config returns the generator configuration the model was built from.
+func (mo *Model) Config() KingLikeConfig { return mo.cfg }
+
+// hashUniform maps the k-th draw of a pair's hash stream to a uniform in
+// [0, 1): one SplitMix64 step per draw, no allocation, no shared state.
+func hashUniform(h0 uint64, k uint64) float64 {
+	return float64(randx.Mix64(h0+k*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+}
+
+// RTT recomputes the pair's round-trip time from the per-node state and
+// the pair's hash stream: core plane distance, both access delays, a
+// lognormal-like jitter factor (Irwin–Hall approximation of the Gaussian:
+// the sum of four uniforms, standardised — cheap, bounded, and
+// statistically indistinguishable at σ ≈ 0.1 from the exact draw for this
+// generator's purposes) and an occasional routing detour. Deterministic
+// per (seed, pair) and independent of evaluation order, which is what
+// lets dense materialisation parallelise over rows.
+func (mo *Model) RTT(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if j < i {
+		i, j = j, i
+	}
+	dx, dy := mo.px[i]-mo.px[j], mo.py[i]-mo.py[j]
+	rtt := 2*math.Sqrt(dx*dx+dy*dy) + mo.access[i] + mo.access[j]
+
+	cfg := &mo.cfg
+	h0 := randx.Mix64(mo.pairSeed ^ (uint64(i)<<32 | uint64(j)))
+	if cfg.JitterSigma > 0 {
+		u := hashUniform(h0, 0) + hashUniform(h0, 1) + hashUniform(h0, 2) + hashUniform(h0, 3)
+		gauss := (u - 2) * 1.7320508075688772 // ×√3: unit variance
+		rtt *= math.Exp(gauss * cfg.JitterSigma)
+	}
+	if cfg.DetourFraction > 0 && hashUniform(h0, 4) < cfg.DetourFraction {
+		rtt *= cfg.DetourMin + hashUniform(h0, 5)*(cfg.DetourMax-cfg.DetourMin)
+	}
+	if rtt < cfg.MinRTT {
+		rtt = cfg.MinRTT
+	}
+	return rtt
+}
+
+// Size returns the number of nodes.
+func (mo *Model) Size() int { return len(mo.px) }
+
+// RTTPairs fills out[k] with the RTT of pair (srcs[k], dsts[k]); negative
+// indices leave the slot untouched.
+func (mo *Model) RTTPairs(srcs, dsts []int, out []float64) {
+	for k := range srcs {
+		if srcs[k] >= 0 && dsts[k] >= 0 {
+			out[k] = mo.RTT(srcs[k], dsts[k])
 		}
 	}
+}
+
+// RTTFrom fills out[k] with RTT(src, dsts[k]); negative indices leave the
+// slot untouched.
+func (mo *Model) RTTFrom(src int, dsts []int, out []float64) {
+	for k, j := range dsts {
+		if j >= 0 {
+			out[k] = mo.RTT(src, j)
+		}
+	}
+}
+
+// MemoryBytes reports the per-node state size — the whole point of this
+// backend: 24 bytes per host, independent of the pair count.
+func (mo *Model) MemoryBytes() int64 { return int64(len(mo.px)) * 3 * 8 }
+
+// Materialize evaluates every pair into a dense matrix, sharded over rows
+// across sh (nil = serial; the per-pair kernel is order-independent, so
+// any worker count yields bit-identical matrices). This is the generator
+// behind GenerateKingLike, and the dominant startup cost at 5k+ nodes —
+// hand it the engine's pool.
+func (mo *Model) Materialize(sh Sharder) *Matrix {
+	n := mo.Size()
+	m := NewMatrix(n)
+	forEachShard(sh, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.rtts[i*n : (i+1)*n]
+			for j := i + 1; j < n; j++ {
+				v := mo.RTT(i, j)
+				row[j] = v
+				m.rtts[j*n+i] = v
+			}
+		}
+	})
 	return m
+}
+
+// MaterializePacked evaluates every pair into a packed float32 substrate,
+// sharded over rows across sh (nil = serial).
+func (mo *Model) MaterializePacked(sh Sharder) *Packed {
+	return Pack(mo, sh)
+}
+
+// GenerateKingLike builds a synthetic RTT matrix per cfg, deterministically
+// from seed — NewKingLikeModel materialised densely. Use
+// GenerateKingLikeSharded to spread the pair evaluation over a worker
+// pool.
+func GenerateKingLike(cfg KingLikeConfig, seed int64) *Matrix {
+	return NewKingLikeModel(cfg, seed).Materialize(nil)
+}
+
+// GenerateKingLikeSharded is GenerateKingLike with the O(n²) pair
+// evaluation sharded across sh. Results are bit-identical to the serial
+// form for any worker count.
+func GenerateKingLikeSharded(cfg KingLikeConfig, seed int64, sh Sharder) *Matrix {
+	return NewKingLikeModel(cfg, seed).Materialize(sh)
 }
 
 // RandomSubgroup draws a k-node subgroup (deterministically from seed) and

@@ -72,16 +72,35 @@ func (m *Matrix) RTTPairs(srcs, dsts []int, out []float64) {
 	}
 }
 
+// RTTFrom fills out[k] with RTT(src, dsts[k]) — one contiguous row of the
+// dense buffer, gathered by the measurement pass. Negative indices leave
+// the slot untouched.
+func (m *Matrix) RTTFrom(src int, dsts []int, out []float64) {
+	row := m.rtts[src*m.n : (src+1)*m.n]
+	for k, j := range dsts {
+		if j >= 0 {
+			out[k] = row[j]
+		}
+	}
+}
+
+// MemoryBytes reports the dense buffer size: n² float64s.
+func (m *Matrix) MemoryBytes() int64 { return int64(len(m.rtts)) * 8 }
+
 // Submatrix returns a new matrix restricted to the given node indices, in
-// order. The result's node k corresponds to nodes[k] in the parent.
+// order. The result's node k corresponds to nodes[k] in the parent. Rows
+// fill by gathering straight from the parent's flat buffer — the values
+// are already validated, so re-running Set's checks (and its symmetric
+// double store) n·k times would only burn time on large subgroups.
 func (m *Matrix) Submatrix(nodes []int) *Matrix {
 	sub := NewMatrix(len(nodes))
 	for a, i := range nodes {
+		src := m.rtts[i*m.n : (i+1)*m.n]
+		dst := sub.rtts[a*sub.n : (a+1)*sub.n]
 		for b, j := range nodes {
-			if a < b {
-				sub.Set(a, b, m.RTT(i, j))
-			}
+			dst[b] = src[j]
 		}
+		dst[a] = 0 // the parent diagonal is zero, but keep the invariant explicit
 	}
 	return sub
 }
@@ -110,11 +129,18 @@ func (m *Matrix) Stats() Stats {
 		}
 	}
 	sort.Float64s(vals)
+	// Round-half-up nearest rank, mirroring metrics.Percentile (this
+	// package cannot import metrics without a cycle). The old floor
+	// truncation biased P90/P99 low on small samples — the same bug PR 2
+	// fixed in metrics.
 	q := func(p float64) float64 {
 		if len(vals) == 0 {
 			return 0
 		}
-		idx := int(p * float64(len(vals)-1))
+		idx := int(math.Floor(p*float64(len(vals)-1) + 0.5))
+		if idx > len(vals)-1 {
+			idx = len(vals) - 1
+		}
 		return vals[idx]
 	}
 	s := Stats{N: m.n, Pairs: len(vals)}
@@ -179,14 +205,25 @@ func (m *Matrix) TIVFraction(maxTriangles int) float64 {
 // values, and a per-value fmt.Fprintf (interface boxing, verb parsing, an
 // allocation each) dominated the save time.
 func (m *Matrix) Save(w io.Writer) error {
+	return saveDense(w, m.n, func(i int, _ []float64) []float64 {
+		return m.rtts[i*m.n : (i+1)*m.n]
+	})
+}
+
+// saveDense writes any symmetric RTT source in the dense text format,
+// one row slice at a time: row(i, buf) returns row i, either a direct
+// view of the backend's storage (dense) or buf filled on demand
+// (packed). Formatting stays on the per-value strconv.AppendFloat fast
+// path with no per-value indirection.
+func saveDense(w io.Writer, n int, row func(i int, buf []float64) []float64) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "rttmatrix %d\n", m.n); err != nil {
+	if _, err := fmt.Fprintf(bw, "rttmatrix %d\n", n); err != nil {
 		return err
 	}
 	buf := make([]byte, 0, 32)
-	for i := 0; i < m.n; i++ {
-		row := m.rtts[i*m.n : (i+1)*m.n]
-		for j, v := range row {
+	rowBuf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j, v := range row(i, rowBuf) {
 			buf = buf[:0]
 			if j > 0 {
 				buf = append(buf, ' ')

@@ -1,0 +1,74 @@
+// Stats quantile regression tests live in an external test package so
+// they can compare against metrics.Percentile (metrics imports latency,
+// so the internal test package cannot import it back).
+package latency_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/latency"
+	"repro/internal/metrics"
+)
+
+// TestStatsQuantilesMatchMetrics: Matrix.Stats must use the same
+// round-half-up nearest-rank rule as metrics.Percentile. The old floor
+// truncation picked index int(p·(n−1)) — on a 10-pair sample P99 landed
+// on the 9th value instead of the 10th.
+func TestStatsQuantilesMatchMetrics(t *testing.T) {
+	// 5 nodes → 10 distinct pairs with values 1..10.
+	m := latency.NewMatrix(5)
+	v := 1.0
+	vals := make([]float64, 0, 10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			m.Set(i, j, v)
+			vals = append(vals, v)
+			v++
+		}
+	}
+	s := m.Stats()
+	for _, c := range []struct {
+		name string
+		got  float64
+		p    float64
+	}{
+		{"median", s.Median, 0.5},
+		{"p90", s.P90, 0.9},
+		{"p99", s.P99, 0.99},
+	} {
+		want := metrics.Percentile(vals, c.p)
+		if c.got != want {
+			t.Errorf("%s = %v, want %v (metrics.Percentile rule)", c.name, c.got, want)
+		}
+	}
+	// The regression pinned down: P99 of 10 ordered values is the maximum
+	// under round-half-up nearest rank; the floor rule returned 9.
+	if s.P99 != 10 {
+		t.Errorf("P99 = %v, want 10 (floor-truncation bias)", s.P99)
+	}
+	if s.P90 != 9 {
+		t.Errorf("P90 = %v, want 9", s.P90)
+	}
+}
+
+// TestStatsQuantilesGenerated cross-checks the full Stats summary against
+// metrics on a generated matrix.
+func TestStatsQuantilesGenerated(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(40), 8)
+	vals := make([]float64, 0, 40*39/2)
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			vals = append(vals, m.RTT(i, j))
+		}
+	}
+	s := m.Stats()
+	for _, c := range []struct {
+		got float64
+		p   float64
+	}{{s.Median, 0.5}, {s.P90, 0.9}, {s.P99, 0.99}} {
+		if want := metrics.Percentile(vals, c.p); math.Abs(c.got-want) != 0 {
+			t.Errorf("quantile p=%v: %v, want %v", c.p, c.got, want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package latency
+
+import "fmt"
+
+// Substrate is the engine's read-only view of the Internet delay model: a
+// symmetric pairwise RTT source in milliseconds with a zero diagonal. The
+// hot paths never see a concrete matrix — Vivaldi's probe phase, NPS's
+// positioning sweeps and the measurement pass all sample through this
+// interface, so a run can trade memory for recomputation by picking a
+// backend:
+//
+//   - *Matrix: dense row-major float64, n² values (fastest lookups,
+//     800 MB at 10k nodes);
+//   - *Packed: upper-triangle float32, n(n−1)/2 values (≥4× smaller,
+//     within float32 rounding of the dense values);
+//   - *Model: O(n) per-node state, per-pair RTTs recomputed on demand
+//     (25k–50k-node populations in a few MB).
+//
+// Implementations must be safe for concurrent readers: simulations share
+// one substrate across repetitions and worker goroutines.
+type Substrate interface {
+	// Size returns the number of nodes.
+	Size() int
+
+	// RTT returns the round-trip time between nodes i and j in
+	// milliseconds. RTT(i, i) is 0 and RTT(i, j) == RTT(j, i).
+	RTT(i, j int) float64
+
+	// RTTPairs fills out[k] with the RTT of pair (srcs[k], dsts[k]).
+	// Negative indices leave the slot untouched. This is the batched
+	// sampling path of the parallel tick: each shard resolves its whole
+	// probe set in one tight loop.
+	RTTPairs(srcs, dsts []int, out []float64)
+
+	// RTTFrom fills out[k] with RTT(src, dsts[k]) — the batched row
+	// gather of the measurement pass, which evaluates one node against
+	// its whole peer set at a time. Negative indices leave the slot
+	// untouched.
+	RTTFrom(src int, dsts []int, out []float64)
+
+	// MemoryBytes reports the resident size of the backend's RTT state
+	// (the dominant buffers only, not struct headers).
+	MemoryBytes() int64
+}
+
+// Sharder is the minimal sharded-execution contract parallel substrate
+// construction needs. engine.Pool satisfies it; nil means serial.
+type Sharder interface {
+	ForEach(n int, fn func(shard, lo, hi int))
+}
+
+// serialShards runs fn over [0,n) in one shard when sh is nil.
+func forEachShard(sh Sharder, n int, fn func(shard, lo, hi int)) {
+	if sh == nil {
+		fn(0, 0, n)
+		return
+	}
+	sh.ForEach(n, fn)
+}
+
+// BackendKind names a Substrate implementation, selectable per run
+// (engine.RunSpec.Substrate) and from the command line (vna-sim
+// -substrate).
+type BackendKind string
+
+// The selectable backends. The empty kind resolves to dense.
+const (
+	BackendDense  BackendKind = "dense"
+	BackendPacked BackendKind = "packed"
+	BackendModel  BackendKind = "model"
+)
+
+// ParseBackend resolves a backend name; empty means dense.
+func ParseBackend(name string) (BackendKind, error) {
+	switch BackendKind(name) {
+	case "", BackendDense:
+		return BackendDense, nil
+	case BackendPacked:
+		return BackendPacked, nil
+	case BackendModel:
+		return BackendModel, nil
+	}
+	return "", fmt.Errorf("latency: unknown substrate backend %q (want dense, packed or model)", name)
+}
+
+// BackendBytes estimates the resident RTT-state size of a backend at n
+// nodes without building it — what the run banner and the README memory
+// table report.
+func BackendBytes(kind BackendKind, n int) int64 {
+	nn := int64(n)
+	switch kind {
+	case BackendPacked:
+		return nn * (nn - 1) / 2 * 4
+	case BackendModel:
+		return nn * 3 * 8 // px, py, access
+	default: // dense
+		return nn * nn * 8
+	}
+}
+
+// FormatBytes renders a byte count for banners ("6.1 MB"). Decimal
+// units, matching how the README memory table and BENCH_engine.json
+// quote sizes (24.2 MB at 1740 nodes, 800 MB at 10k).
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.1f GB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.1f MB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.1f KB", float64(b)/1e3)
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// Interface conformance of the three backends.
+var (
+	_ Substrate = (*Matrix)(nil)
+	_ Substrate = (*Packed)(nil)
+	_ Substrate = (*Model)(nil)
+)

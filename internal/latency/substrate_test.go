@@ -1,0 +1,287 @@
+package latency
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// chunkSharder is a test Sharder that splits [0,n) into fixed 13-wide
+// shards, exercising the parallel construction paths deterministically.
+type chunkSharder struct{}
+
+func (chunkSharder) ForEach(n int, fn func(shard, lo, hi int)) {
+	const w = 13
+	for s, lo := 0, 0; lo < n; s, lo = s+1, lo+w {
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		fn(s, lo, hi)
+	}
+}
+
+// TestBackendsAgreeSmall checks all pairs of a small population: the
+// model and its dense materialisation must agree exactly, the packed form
+// within float32 rounding.
+func TestBackendsAgreeSmall(t *testing.T) {
+	mo := NewKingLikeModel(DefaultKingLike(80), 3)
+	dense := mo.Materialize(nil)
+	packed := mo.MaterializePacked(nil)
+	for i := 0; i < 80; i++ {
+		for j := 0; j < 80; j++ {
+			d := dense.RTT(i, j)
+			if m := mo.RTT(i, j); m != d {
+				t.Fatalf("(%d,%d): model %v != dense %v", i, j, m, d)
+			}
+			if p := packed.RTT(i, j); p != float64(float32(d)) {
+				t.Fatalf("(%d,%d): packed %v, want float32(%v)", i, j, p, d)
+			}
+		}
+	}
+}
+
+// TestBackendsAgreeAt1740 is the acceptance check at the paper's
+// population: dense, packed and model backends produce identical RTTs for
+// the same seed (packed within float32 relative rounding), so every
+// figure is reproducible on any backend.
+func TestBackendsAgreeAt1740(t *testing.T) {
+	const n = 1740
+	mo := NewKingLikeModel(DefaultKingLike(n), 42)
+	dense := mo.Materialize(chunkSharder{})
+	packed := mo.MaterializePacked(chunkSharder{})
+	// Deterministic stride over the pair space keeps this test-sized.
+	checked := 0
+	for i := 0; i < n; i += 7 {
+		for j := i + 1; j < n; j += 11 {
+			d := dense.RTT(i, j)
+			if m := mo.RTT(i, j); m != d {
+				t.Fatalf("(%d,%d): model %v != dense %v", i, j, m, d)
+			}
+			p := packed.RTT(i, j)
+			if math.Abs(p-d) > 1e-6*d {
+				t.Fatalf("(%d,%d): packed %v outside float32 rounding of %v", i, j, p, d)
+			}
+			checked++
+		}
+	}
+	if checked < 10000 {
+		t.Fatalf("only %d pairs checked", checked)
+	}
+}
+
+// TestMaterializeShardedIdentical: parallel materialisation must be
+// bit-identical to serial for any shard decomposition.
+func TestMaterializeShardedIdentical(t *testing.T) {
+	mo := NewKingLikeModel(DefaultKingLike(60), 5)
+	serial := mo.Materialize(nil)
+	sharded := mo.Materialize(chunkSharder{})
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			if serial.RTT(i, j) != sharded.RTT(i, j) {
+				t.Fatalf("(%d,%d): sharded materialisation differs", i, j)
+			}
+		}
+	}
+}
+
+// TestPackedMemoryRatio is the acceptance check: the packed backend is at
+// least 4x smaller than dense at equal n, and the model is O(n).
+func TestPackedMemoryRatio(t *testing.T) {
+	for _, n := range []int{100, 1740} {
+		mo := NewKingLikeModel(DefaultKingLike(n), 1)
+		dense := mo.Materialize(nil)
+		packed := mo.MaterializePacked(nil)
+		if ratio := float64(dense.MemoryBytes()) / float64(packed.MemoryBytes()); ratio < 4 {
+			t.Errorf("n=%d: dense/packed memory ratio %.4f, want >= 4", n, ratio)
+		}
+		if mo.MemoryBytes() != int64(n)*24 {
+			t.Errorf("n=%d: model holds %d bytes, want %d", n, mo.MemoryBytes(), n*24)
+		}
+		// The banner's estimate must match the real backends.
+		if got := BackendBytes(BackendDense, n); got != dense.MemoryBytes() {
+			t.Errorf("n=%d: BackendBytes(dense) %d != %d", n, got, dense.MemoryBytes())
+		}
+		if got := BackendBytes(BackendPacked, n); got != packed.MemoryBytes() {
+			t.Errorf("n=%d: BackendBytes(packed) %d != %d", n, got, packed.MemoryBytes())
+		}
+		if got := BackendBytes(BackendModel, n); got != mo.MemoryBytes() {
+			t.Errorf("n=%d: BackendBytes(model) %d != %d", n, got, mo.MemoryBytes())
+		}
+	}
+}
+
+// TestPackedIndexing exhaustively checks the triangle index math against
+// a reference matrix, including Set/RTT symmetry and the zero diagonal.
+func TestPackedIndexing(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 16} {
+		m := NewMatrix(n)
+		p := NewPacked(n)
+		v := 1.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, v)
+				p.Set(j, i, v) // reversed order must land in the same slot
+				v++
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if p.RTT(i, j) != m.RTT(i, j) {
+					t.Fatalf("n=%d (%d,%d): packed %v, want %v", n, i, j, p.RTT(i, j), m.RTT(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestRTTBatchKernels checks RTTPairs and RTTFrom on all three backends
+// against the scalar path, including the negative-index contract.
+func TestRTTBatchKernels(t *testing.T) {
+	mo := NewKingLikeModel(DefaultKingLike(40), 9)
+	backends := map[string]Substrate{
+		"dense":  mo.Materialize(nil),
+		"packed": mo.MaterializePacked(nil),
+		"model":  mo,
+	}
+	srcs := []int{0, 5, -1, 17, 39, 8, 8}
+	dsts := []int{39, 5, 3, -2, 0, 21, 8}
+	for name, s := range backends {
+		out := []float64{-1, -1, -1, -1, -1, -1, -1}
+		s.RTTPairs(srcs, dsts, out)
+		for k := range srcs {
+			if srcs[k] < 0 || dsts[k] < 0 {
+				if out[k] != -1 {
+					t.Errorf("%s: RTTPairs touched negative-index slot %d", name, k)
+				}
+				continue
+			}
+			if want := s.RTT(srcs[k], dsts[k]); out[k] != want {
+				t.Errorf("%s: RTTPairs[%d] = %v, want %v", name, k, out[k], want)
+			}
+		}
+		row := []int{3, -1, 0, 17, 39, 17}
+		got := []float64{-1, -1, -1, -1, -1, -1}
+		s.RTTFrom(17, row, got)
+		for k, j := range row {
+			if j < 0 {
+				if got[k] != -1 {
+					t.Errorf("%s: RTTFrom touched negative-index slot %d", name, k)
+				}
+				continue
+			}
+			if want := s.RTT(17, j); got[k] != want {
+				t.Errorf("%s: RTTFrom[%d] = %v, want %v", name, k, got[k], want)
+			}
+		}
+	}
+}
+
+// TestPackedSaveLoadRoundtrip is the roundtrip property on the packed
+// backend: Save (dense text format) then Load then re-pack must agree
+// with the original within the format's 0.001 ms quantisation.
+func TestPackedSaveLoadRoundtrip(t *testing.T) {
+	mo := NewKingLikeModel(DefaultKingLike(24), 77)
+	p := mo.MaterializePacked(nil)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != p.Size() {
+		t.Fatalf("size %d, want %d", loaded.Size(), p.Size())
+	}
+	rePacked := Pack(loaded, nil)
+	for i := 0; i < p.Size(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			if math.Abs(loaded.RTT(i, j)-p.RTT(i, j)) > 0.0005+1e-9 {
+				t.Fatalf("(%d,%d): loaded %v vs packed %v", i, j, loaded.RTT(i, j), p.RTT(i, j))
+			}
+			if math.Abs(rePacked.RTT(i, j)-p.RTT(i, j)) > 0.0005+1e-9 {
+				t.Fatalf("(%d,%d): re-packed %v vs packed %v", i, j, rePacked.RTT(i, j), p.RTT(i, j))
+			}
+		}
+	}
+}
+
+// TestLoadTruncatedDenseRow: a dense header promising more rows than the
+// input holds must be a loud error, not a zero-filled matrix.
+func TestLoadTruncatedDenseRow(t *testing.T) {
+	in := "rttmatrix 3\n0 1 2\n1 0 2\n"
+	if _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("truncated dense input accepted")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestLoadAsymmetricRejected: real asymmetry is rejected; tiny formatting
+// noise is tolerated and symmetrised.
+func TestLoadAsymmetricRejected(t *testing.T) {
+	bad := "rttmatrix 2\n0 5\n9 0\n"
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	ok := "rttmatrix 2\n0 5.0000001\n5.0000002 0\n"
+	m, err := Load(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("formatting-noise asymmetry rejected: %v", err)
+	}
+	if m.RTT(0, 1) != m.RTT(1, 0) {
+		t.Fatal("loaded matrix not symmetrised")
+	}
+}
+
+// TestLoadTriplesDuplicateLastWins: a pair listed twice takes the last
+// value (both orientations).
+func TestLoadTriplesDuplicateLastWins(t *testing.T) {
+	in := "0 1 10\n1 0 20\n0 1 30\n1 2 5\n"
+	m, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RTT(0, 1) != 30 || m.RTT(1, 0) != 30 {
+		t.Fatalf("duplicate pair: got %v/%v, want last write 30", m.RTT(0, 1), m.RTT(1, 0))
+	}
+	if m.RTT(1, 2) != 5 {
+		t.Fatalf("unrelated pair clobbered: %v", m.RTT(1, 2))
+	}
+}
+
+// TestSubmatrixMatchesFlatFill: the flat-gather Submatrix must agree with
+// a per-pair RTT reconstruction, including on subsets in arbitrary order.
+func TestSubmatrixMatchesFlatFill(t *testing.T) {
+	m := GenerateKingLike(DefaultKingLike(30), 4)
+	nodes := []int{7, 3, 29, 0, 15, 15} // duplicates allowed: the gather is positional
+	sub := m.Submatrix(nodes)
+	for a, i := range nodes {
+		for b, j := range nodes {
+			want := m.RTT(i, j)
+			if a == b {
+				want = 0
+			}
+			if sub.RTT(a, b) != want {
+				t.Fatalf("(%d,%d): %v, want %v", a, b, sub.RTT(a, b), want)
+			}
+		}
+	}
+}
+
+// BenchmarkSubmatrix measures the subgroup gather at the paper's sweep
+// size (the old per-pair Set path re-ran validation n·k times).
+func BenchmarkSubmatrix(b *testing.B) {
+	m := GenerateKingLike(DefaultKingLike(1740), 1)
+	nodes := make([]int, 870)
+	for i := range nodes {
+		nodes[i] = i * 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Submatrix(nodes)
+	}
+}

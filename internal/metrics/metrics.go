@@ -8,6 +8,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/coordspace"
 	"repro/internal/latency"
@@ -74,7 +75,7 @@ func PeerSets(n, k int, seed int64) [][]int {
 // NodeErrors computes, for every node with include(i) true, the average
 // relative error of its distance predictions to its evaluation peers.
 // Nodes with include(i) false get NaN (they are excluded from aggregates).
-func NodeErrors(m *latency.Matrix, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool) []float64 {
+func NodeErrors(m latency.Substrate, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool) []float64 {
 	out := make([]float64, len(coords))
 	NodeErrorsRange(m, space, coords, peers, include, 0, len(out), out)
 	return out
@@ -84,7 +85,7 @@ func NodeErrors(m *latency.Matrix, space coordspace.Space, coords []coordspace.C
 // out (which spans all nodes). Disjoint ranges touch disjoint slots, so
 // the engine shards a measurement pass across workers with one call per
 // shard.
-func NodeErrorsRange(m *latency.Matrix, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool, lo, hi int, out []float64) {
+func NodeErrorsRange(m latency.Substrate, space coordspace.Space, coords []coordspace.Coord, peers [][]int, include func(int) bool, lo, hi int, out []float64) {
 	for i := lo; i < hi; i++ {
 		if include != nil && !include(i) {
 			out[i] = math.NaN()
@@ -112,7 +113,7 @@ func NodeErrorsRange(m *latency.Matrix, space coordspace.Space, coords []coordsp
 // engine's measurement path. The per-node distance sweep runs through the
 // store's batched DistMany kernel, so the O(n·k) pass reads one contiguous
 // buffer instead of chasing n separate coordinate allocations.
-func NodeErrorsStore(m *latency.Matrix, st *coordspace.Store, peers [][]int, include func(int) bool) []float64 {
+func NodeErrorsStore(m latency.Substrate, st *coordspace.Store, peers [][]int, include func(int) bool) []float64 {
 	out := make([]float64, st.Len())
 	NodeErrorsStoreRange(m, st, peers, include, 0, st.Len(), out)
 	return out
@@ -122,8 +123,19 @@ func NodeErrorsStore(m *latency.Matrix, st *coordspace.Store, peers [][]int, inc
 // writing into out (which spans all nodes). It allocates nothing: disjoint
 // ranges touch disjoint slots, so the engine shards a measurement pass
 // across workers with one call per shard and a single reused out buffer.
-func NodeErrorsStoreRange(m *latency.Matrix, st *coordspace.Store, peers [][]int, include func(int) bool, lo, hi int, out []float64) {
+// Both the predicted distances (Store.DistMany) and the true RTTs
+// (Substrate.RTTFrom) resolve in per-chunk batches, so a model-backed
+// substrate recomputes its row in one tight kernel sweep rather than
+// interleaved with the error arithmetic.
+func NodeErrorsStoreRange(m latency.Substrate, st *coordspace.Store, peers [][]int, include func(int) bool, lo, hi int, out []float64) {
 	var dists [64]float64 // per-chunk distance batch, stack-allocated
+	// The RTT batch crosses the Substrate interface boundary, which
+	// escape analysis must treat as leaking — a stack array here would
+	// heap-allocate once per shard call (≈800 times per 25k-node pass).
+	// A pooled buffer keeps the steady-state sweep allocation-free.
+	rb := rttBatchPool.Get().(*[64]float64)
+	defer rttBatchPool.Put(rb)
+	rtts := rb[:]
 	for i := lo; i < hi; i++ {
 		if include != nil && !include(i) {
 			out[i] = math.NaN()
@@ -137,8 +149,12 @@ func NodeErrorsStoreRange(m *latency.Matrix, st *coordspace.Store, peers [][]int
 			}
 			ps = ps[len(chunk):]
 			st.DistMany(i, chunk, dists[:len(chunk)])
+			m.RTTFrom(i, chunk, rtts[:len(chunk)])
 			for k, j := range chunk {
-				actual := m.RTT(i, j)
+				if j < 0 {
+					continue // RTTFrom left the slot untouched (stale buffer)
+				}
+				actual := rtts[k]
 				if actual <= 0 {
 					continue
 				}
@@ -153,6 +169,10 @@ func NodeErrorsStoreRange(m *latency.Matrix, st *coordspace.Store, peers [][]int
 		out[i] = sum / float64(cnt)
 	}
 }
+
+// rttBatchPool holds the per-shard RTT gather buffers of
+// NodeErrorsStoreRange (see the comment there).
+var rttBatchPool = sync.Pool{New: func() any { return new([64]float64) }}
 
 // Mean returns the mean of the non-NaN values.
 func Mean(xs []float64) float64 {
@@ -337,7 +357,7 @@ func (c CDF) Points(n int) [][2]float64 {
 // RandomBaseline computes the average relative error of the paper's
 // worst-case scenario: every node chooses its coordinate uniformly at
 // random with components in [-scale, scale] (§5.1, scale 50000).
-func RandomBaseline(m *latency.Matrix, space coordspace.Space, peers [][]int, scale float64, seed int64) float64 {
+func RandomBaseline(m latency.Substrate, space coordspace.Space, peers [][]int, scale float64, seed int64) float64 {
 	rng := randx.NewDerived(seed, "randombaseline", 0)
 	st := coordspace.NewStore(space, m.Size())
 	for i := 0; i < st.Len(); i++ {

@@ -166,7 +166,7 @@ func (f FilterStats) Ratio() float64 {
 // sweeps the flat buffer directly.
 type System struct {
 	cfg        Config
-	m          *latency.Matrix
+	m          latency.Substrate
 	layerOf    []int
 	landmarks  []int
 	store      *coordspace.Store
@@ -186,7 +186,7 @@ var _ View = (*System)(nil)
 // NewSystem builds an NPS deployment: landmark selection and embedding,
 // layer assignment, and initial reference point assignment, all
 // deterministic from seed. Nodes are unpositioned until the first Step.
-func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
+func NewSystem(m latency.Substrate, cfg Config, seed int64) *System {
 	cfg = cfg.withDefaults()
 	n := m.Size()
 	if cfg.NumLandmarks >= n {
@@ -580,5 +580,5 @@ func (s *System) Stats() FilterStats { return s.stats }
 // injection time).
 func (s *System) ResetStats() { s.stats = FilterStats{} }
 
-// Matrix returns the underlying latency matrix.
-func (s *System) Matrix() *latency.Matrix { return s.m }
+// Substrate returns the underlying latency substrate.
+func (s *System) Substrate() latency.Substrate { return s.m }

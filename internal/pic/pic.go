@@ -130,7 +130,7 @@ func (s SecurityStats) FalsePositiveRate() float64 {
 // the decentralized growth has something to start from.
 type System struct {
 	cfg        Config
-	m          *latency.Matrix
+	m          latency.Substrate
 	coords     []coordspace.Coord
 	positioned []bool
 	taps       []Tap
@@ -145,7 +145,7 @@ var _ View = (*System)(nil)
 // Anchors+1 nodes in a random order) is embedded GNP-style at
 // construction; everyone else positions against already-positioned hosts
 // during Step.
-func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
+func NewSystem(m latency.Substrate, cfg Config, seed int64) *System {
 	cfg = cfg.withDefaults()
 	n := m.Size()
 	if n < cfg.Anchors+2 {

@@ -82,6 +82,23 @@ func Sample(r *rand.Rand, n, k int) []int {
 	if k > n {
 		panic("randx: sample size larger than population")
 	}
+	// Sparse draws use rejection sampling: O(k) space and expected O(k)
+	// draws. Without this, per-node peer sampling at 25k–50k nodes pays
+	// O(n) allocation per node — O(n²) for a population. The dense
+	// partial Fisher–Yates below stays for k comparable to n, where
+	// rejection would re-roll too often.
+	if k > 0 && k <= n/32 {
+		seen := make(map[int]bool, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			j := r.Intn(n)
+			if !seen[j] {
+				seen[j] = true
+				out = append(out, j)
+			}
+		}
+		return out
+	}
 	// Partial Fisher-Yates over a dense index slice: O(n) space, O(k) swaps.
 	idx := make([]int, n)
 	for i := range idx {

@@ -135,7 +135,7 @@ func (s *System) scratch() *parallelScratch {
 //   - every node draws its probe target and its update randomness from its
 //     own per-node RNG stream, touched only by the shard that owns it;
 //   - honest responses are pure reads of the frozen snapshot, with the
-//     substrate RTTs batch-fetched per shard (latency.Matrix.RTTPairs);
+//     substrate RTTs batch-fetched per shard (latency.Substrate.RTTPairs);
 //   - responses that pass through an attack tap are computed in a fixed
 //     serial sweep in prober order, because taps hold mutable state (their
 //     own RNG streams, conspiracy caches) shared across probers.

@@ -5,9 +5,10 @@
 //
 // The package has two layers. Node is the pure per-host algorithm (reused
 // by the live UDP daemon); System runs a population of Nodes against a
-// latency.Matrix with the paper's neighbour structure (64 springs per node,
-// half of them to hosts closer than 50 ms) and exposes the probe-response
-// hook that the attack framework (internal/core) taps.
+// latency.Substrate (dense matrix, packed triangle or on-demand model)
+// with the paper's neighbour structure (64 springs per node, half of them
+// to hosts closer than 50 ms) and exposes the probe-response hook that
+// the attack framework (internal/core) taps.
 //
 // Population state lives in a coordspace.Store — one flat []float64
 // holding every coordinate — so the per-tick sweep is cache-linear and the
@@ -217,7 +218,7 @@ type View interface {
 // []float64 alongside it.
 type System struct {
 	cfg       Config
-	m         *latency.Matrix
+	m         latency.Substrate
 	store     *coordspace.Store
 	errs      []float64
 	neighbors [][]int
@@ -251,7 +252,16 @@ var _ View = (*System)(nil)
 
 // NewSystem builds a population of m.Size() nodes with the paper's
 // neighbour structure, deterministically from seed.
-func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
+func NewSystem(m latency.Substrate, cfg Config, seed int64) *System {
+	return NewSystemSharded(m, cfg, seed, nil)
+}
+
+// NewSystemSharded is NewSystem with the neighbour selection sharded
+// across sh (nil = serial). Every node draws its spring set from its own
+// derived RNG stream, so construction is bit-identical to the serial form
+// for any worker count — worth using at 5k+ nodes, where spring selection
+// is the dominant startup cost after substrate generation.
+func NewSystemSharded(m latency.Substrate, cfg Config, seed int64, sh Sharder) *System {
 	cfg = cfg.withDefaults()
 	n := m.Size()
 	s := &System{
@@ -267,17 +277,29 @@ func NewSystem(m *latency.Matrix, cfg Config, seed int64) *System {
 		s.rngs[i] = randx.NewDerived(seed, "vivaldi-node", i)
 		s.errs[i] = cfg.InitialError
 	}
-	selRng := randx.NewDerived(seed, "vivaldi-neighbors", 0)
-	for i := 0; i < n; i++ {
-		s.neighbors[i] = pickNeighbors(m, i, cfg, selRng)
+	pick := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.neighbors[i] = pickNeighbors(m, i, cfg, randx.NewDerived(seed, "vivaldi-neighbors", i))
+		}
+	}
+	if sh == nil {
+		pick(0, 0, n)
+	} else {
+		sh.ForEach(n, pick)
 	}
 	return s
 }
 
+// neighborScanLimit is the population size above which spring selection
+// samples candidates instead of classifying every host: a full scan is
+// O(n) substrate lookups per node — O(n²) per system — which at 25k+
+// nodes on the model backend would dwarf the simulation itself.
+const neighborScanLimit = 4096
+
 // pickNeighbors selects the paper's spring set for node i: up to
 // CloseNeighbors hosts with RTT below CloseThreshold, topped up to
 // Neighbors with random other hosts.
-func pickNeighbors(m *latency.Matrix, i int, cfg Config, rng *rand.Rand) []int {
+func pickNeighbors(m latency.Substrate, i int, cfg Config, rng *rand.Rand) []int {
 	n := m.Size()
 	if n-1 <= cfg.Neighbors {
 		all := make([]int, 0, n-1)
@@ -287,6 +309,9 @@ func pickNeighbors(m *latency.Matrix, i int, cfg Config, rng *rand.Rand) []int {
 			}
 		}
 		return all
+	}
+	if n > neighborScanLimit {
+		return sampleNeighbors(m, i, cfg, rng)
 	}
 	var close, far []int
 	for j := 0; j < n; j++ {
@@ -325,6 +350,55 @@ func pickNeighbors(m *latency.Matrix, i int, cfg Config, rng *rand.Rand) []int {
 	return set
 }
 
+// sampleNeighbors is the large-population spring selection: candidates
+// are drawn uniformly at random and classified until the close quota is
+// met (or a scan budget is exhausted), instead of measuring all n−1
+// hosts. The resulting structure is the same — CloseNeighbors springs
+// below CloseThreshold where the topology offers them, random far
+// springs for the rest — at O(1) expected substrate lookups per spring.
+func sampleNeighbors(m latency.Substrate, i int, cfg Config, rng *rand.Rand) []int {
+	n := m.Size()
+	want := cfg.Neighbors
+	// The close quota never exceeds the spring count (a Config with
+	// Neighbors below the default CloseNeighbors=32 would otherwise
+	// over-collect close hosts and underflow the far fill below).
+	closeQuota := cfg.CloseNeighbors
+	if closeQuota > want {
+		closeQuota = want
+	}
+	budget := 48 * want // expected close fraction ~0.1 ⇒ quota met well within this
+	picked := make(map[int]bool, 2*want)
+	close := make([]int, 0, closeQuota)
+	far := make([]int, 0, want)
+	for scanned := 0; scanned < budget && len(close) < closeQuota; scanned++ {
+		j := rng.Intn(n)
+		if j == i || picked[j] {
+			continue
+		}
+		if m.RTT(i, j) < cfg.CloseThreshold {
+			picked[j] = true
+			close = append(close, j)
+		} else if len(far) < want {
+			picked[j] = true
+			far = append(far, j)
+		}
+	}
+	// Fill the remainder of the spring set with far hosts (cheap: almost
+	// every uniform draw is far).
+	needFar := want - len(close)
+	if len(far) > needFar {
+		far = far[:needFar]
+	}
+	for len(far) < needFar {
+		j := rng.Intn(n)
+		if j != i && !picked[j] {
+			picked[j] = true
+			far = append(far, j)
+		}
+	}
+	return append(close, far...)
+}
+
 // Size returns the population size.
 func (s *System) Size() int { return len(s.errs) }
 
@@ -353,8 +427,8 @@ func (s *System) LocalError(i int) float64 { return s.errs[i] }
 // TrueRTT returns the underlying matrix RTT between i and j.
 func (s *System) TrueRTT(i, j int) float64 { return s.m.RTT(i, j) }
 
-// Matrix returns the underlying latency matrix.
-func (s *System) Matrix() *latency.Matrix { return s.m }
+// Substrate returns the underlying latency substrate.
+func (s *System) Substrate() latency.Substrate { return s.m }
 
 // Neighbors returns node i's spring set (not a copy; do not mutate).
 func (s *System) Neighbors(i int) []int { return s.neighbors[i] }

@@ -149,6 +149,44 @@ func TestNeighborStructure(t *testing.T) {
 	}
 }
 
+// TestNeighborStructureSampled exercises the sampled spring selection
+// used above neighborScanLimit, on the O(n) model backend: full spring
+// sets, no self-springs, no duplicates, and a few close springs where
+// the topology offers them. Includes the regression case of a spring
+// count below the default close quota (CloseNeighbors clamps to
+// Neighbors; an unclamped quota underflowed the far fill and panicked).
+func TestNeighborStructureSampled(t *testing.T) {
+	n := neighborScanLimit + 100
+	mo := latency.NewKingLikeModel(latency.DefaultKingLike(n), 6)
+	for _, cfg := range []Config{{}, {Neighbors: 16}} {
+		cfg = cfg.withDefaults()
+		s := NewSystem(mo, cfg, 9)
+		someClose := 0
+		for _, i := range []int{0, 1, 17, n/2 + 1, n - 1} {
+			nbrs := s.Neighbors(i)
+			if len(nbrs) != cfg.Neighbors {
+				t.Fatalf("node %d has %d neighbours, want %d", i, len(nbrs), cfg.Neighbors)
+			}
+			seen := map[int]bool{}
+			for _, j := range nbrs {
+				if j == i {
+					t.Fatalf("node %d is its own neighbour", i)
+				}
+				if seen[j] {
+					t.Fatalf("node %d has duplicate neighbour %d", i, j)
+				}
+				seen[j] = true
+				if mo.RTT(i, j) < cfg.CloseThreshold {
+					someClose++
+				}
+			}
+		}
+		if someClose == 0 {
+			t.Fatal("sampled selection found no close springs at all")
+		}
+	}
+}
+
 func TestNeighborsSmallSystem(t *testing.T) {
 	m := lineMatrix([]float64{0, 10, 20, 30})
 	s := NewSystem(m, Config{}, 1)

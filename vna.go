@@ -66,8 +66,23 @@ func EuclideanHeight(d int) Space { return coordspace.EuclideanHeight(d) }
 
 // Latency substrate.
 
-// Matrix is a symmetric pairwise RTT matrix in milliseconds.
+// Substrate is the pluggable latency backend every simulation samples
+// through: dense matrix, packed-symmetric float32 triangle, or an O(n)
+// model that recomputes RTTs on demand (25k–50k-node populations in a
+// few MB). See SubstrateKind.
+type Substrate = latency.Substrate
+
+// SubstrateKind selects a backend per run: "dense", "packed" or "model"
+// (set it on a Preset's Substrate field, or per engine run spec).
+type SubstrateKind = latency.BackendKind
+
+// Matrix is the dense backend: a symmetric pairwise RTT matrix in
+// milliseconds.
 type Matrix = latency.Matrix
+
+// InternetModel is the O(n) backend: per-node generator state from which
+// pairwise RTTs are recomputed on demand.
+type InternetModel = latency.Model
 
 // InternetConfig parameterises the synthetic King-like topology generator.
 type InternetConfig = latency.KingLikeConfig
@@ -84,6 +99,17 @@ func GenerateInternet(n int, seed int64) *Matrix {
 func GenerateInternetWith(cfg InternetConfig, seed int64) *Matrix {
 	return latency.GenerateKingLike(cfg, seed)
 }
+
+// GenerateInternetModel builds the O(n) model backend of the same
+// synthetic Internet GenerateInternet materialises: identical RTTs,
+// 24 bytes per host instead of 8n² bytes.
+func GenerateInternetModel(n int, seed int64) *InternetModel {
+	return latency.NewKingLikeModel(latency.DefaultKingLike(n), seed)
+}
+
+// PackInternet converts any substrate to the packed-symmetric float32
+// backend (≥4× smaller than dense, values within float32 rounding).
+func PackInternet(s Substrate) *latency.Packed { return latency.Pack(s, nil) }
 
 // LoadMatrix reads an RTT matrix in the package text format or as
 // "i j rtt_ms" triples (e.g. a real King dataset export).
@@ -110,8 +136,8 @@ type VivaldiProbeResponse = vivaldi.ProbeResponse
 // VivaldiTap intercepts probe responses (the attack hook).
 type VivaldiTap = vivaldi.Tap
 
-// NewVivaldi builds a Vivaldi population over m.
-func NewVivaldi(m *Matrix, cfg VivaldiConfig, seed int64) *VivaldiSystem {
+// NewVivaldi builds a Vivaldi population over any latency substrate.
+func NewVivaldi(m Substrate, cfg VivaldiConfig, seed int64) *VivaldiSystem {
 	return vivaldi.NewSystem(m, cfg, seed)
 }
 
@@ -126,8 +152,8 @@ type NPSSystem = nps.System
 // NPSTap intercepts NPS positioning probes (the attack hook).
 type NPSTap = nps.Tap
 
-// NewNPS builds an NPS deployment over m.
-func NewNPS(m *Matrix, cfg NPSConfig, seed int64) *NPSSystem {
+// NewNPS builds an NPS deployment over any latency substrate.
+func NewNPS(m Substrate, cfg NPSConfig, seed int64) *NPSSystem {
 	return nps.NewSystem(m, cfg, seed)
 }
 
@@ -218,14 +244,14 @@ func RelativeError(actual, predicted float64) float64 {
 func EvalPeers(n, k int, seed int64) [][]int { return metrics.PeerSets(n, k, seed) }
 
 // AverageError returns the mean relative error of the given coordinates
-// against the true matrix, over nodes where include is true (nil = all).
-func AverageError(m *Matrix, space Space, coords []Coord, peers [][]int, include func(int) bool) float64 {
+// against the true substrate, over nodes where include is true (nil = all).
+func AverageError(m Substrate, space Space, coords []Coord, peers [][]int, include func(int) bool) float64 {
 	return metrics.Mean(metrics.NodeErrors(m, space, coords, peers, include))
 }
 
 // RandomBaseline is the paper's worst case: everyone picks coordinates
 // uniformly at random in [-50000, 50000] per component.
-func RandomBaseline(m *Matrix, space Space, peers [][]int, seed int64) float64 {
+func RandomBaseline(m Substrate, space Space, peers [][]int, seed int64) float64 {
 	return metrics.RandomBaseline(m, space, peers, 50000, seed)
 }
 

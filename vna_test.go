@@ -119,8 +119,8 @@ func TestRunExperimentWithWorkers(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 30 { // 25 paper figures + 3 extensions + 2 scaling specs
-		t.Fatalf("listed %d experiments, want 30", len(exps))
+	if len(exps) != 33 { // 25 paper figures + 3 extensions + 5 scaling specs
+		t.Fatalf("listed %d experiments, want 33", len(exps))
 	}
 }
 
