@@ -8,13 +8,25 @@ SHELL := /bin/bash -o pipefail
 BENCHTIME ?= 1x
 BENCH     ?= .
 
-.PHONY: test bench bench-guard bench-check race
+.PHONY: test bench bench-guard bench-check race docs-check smoke
 
 test:
 	go build ./... && go test ./...
 
 race:
 	go test -race ./internal/engine/ ./internal/vivaldi/ ./internal/nps/
+
+# Documentation gate: every internal package carries a godoc package
+# comment and every relative markdown link in README.md and docs/
+# resolves (run by the CI docs job).
+docs-check:
+	./scripts/docs-check.sh
+
+# Example smoke tests: the quickstart and the (virtual-clock, hence
+# deterministic and fast) live-udp demo must run to completion.
+smoke:
+	go run ./examples/quickstart
+	go run ./examples/live-udp
 
 # Runs the full benchmark suite with allocation stats and tees the raw
 # output to bench.txt (the CI bench job uploads it as an artifact).

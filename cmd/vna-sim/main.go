@@ -41,6 +41,7 @@ func main() {
 		presetFlag   = flag.String("preset", "quick", "scale preset: bench, quick, standard or full")
 		workersFlag  = flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS)")
 		subFlag      = flag.String("substrate", "", "latency backend: dense, packed or model (default: per-scenario, dense)")
+		backFlag     = flag.String("backend", "", "execution backend: memory or live (default: per-scenario, memory)")
 		formatFlag   = flag.String("format", "table", "output format: table, csv or plot")
 		outFlag      = flag.String("out", "", "output directory (default: stdout)")
 		listFlag     = flag.Bool("list", false, "list registered scenarios and exit")
@@ -53,7 +54,7 @@ func main() {
 			if sp.Custom != nil {
 				kind = "custom"
 			}
-			fmt.Printf("%-9s %-22s %-8s %-7s %s\n", sp.Name, sp.Figure, kind, specSubstrate(sp), sp.Title)
+			fmt.Printf("%-10s %-22s %-8s %-7s %-7s %s\n", sp.Name, sp.Figure, kind, specSubstrate(sp), specBackend(sp), sp.Title)
 		}
 		return
 	}
@@ -78,6 +79,16 @@ func main() {
 		// pin its own backend (a 25k spec keeps its model substrate).
 		preset.Substrate = backend
 	}
+	execBackend, err := engine.ParseExecBackend(*backFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *backFlag != "" {
+		// Same pattern as -substrate: runs that pin a backend keep it,
+		// everything else executes over the requested one (`-scenario
+		// fig09 -backend live` replays the figure over live virtual UDP).
+		preset.Backend = execBackend
+	}
 	write, ext, err := writer(*formatFlag)
 	if err != nil {
 		fatal(err)
@@ -86,19 +97,37 @@ func main() {
 	var ids []string
 	if sel == "all" {
 		for _, sp := range engine.List() {
+			// A backend override applies to every run, so under -backend
+			// live "all" means "all live-capable": skipping the NPS,
+			// custom and churn scenarios upfront beats aborting mid-loop
+			// with partial output.
+			if execBackend == engine.BackendLive {
+				if err := sp.SupportsLive(); err != nil {
+					fmt.Fprintf(os.Stderr, "skipping %v\n", err)
+					continue
+				}
+			}
 			ids = append(ids, sp.Name)
 		}
 	} else {
 		for _, id := range strings.Split(sel, ",") {
-			ids = append(ids, strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			// Explicitly named scenarios fail upfront rather than after
+			// earlier ids in the list already ran.
+			if sp, ok := engine.Get(id); ok && execBackend == engine.BackendLive {
+				if err := sp.SupportsLive(); err != nil {
+					fatal(err)
+				}
+			}
+			ids = append(ids, id)
 		}
 	}
 
 	for _, id := range ids {
 		start := time.Now()
 		kind, bytes := runSubstrate(id, preset)
-		fmt.Fprintf(os.Stderr, "running %s at preset %s (workers=%d, substrate=%s, ~%s resident)...\n",
-			id, preset.Name, *workersFlag, kind, latency.FormatBytes(bytes))
+		fmt.Fprintf(os.Stderr, "running %s at preset %s (workers=%d, substrate=%s, backend=%s, ~%s resident)...\n",
+			id, preset.Name, *workersFlag, kind, runBackend(id, preset), latency.FormatBytes(bytes))
 		result, err := experiment.RunWith(id, preset, *workersFlag)
 		if err != nil {
 			fatal(err)
@@ -156,6 +185,38 @@ func specSubstrate(sp engine.ScenarioSpec) string {
 		}
 	}
 	return string(kind)
+}
+
+// specBackend names the execution backend a scenario's runs pin (-list
+// column): "memory" unless some run selects live.
+func specBackend(sp engine.ScenarioSpec) string {
+	kind := engine.BackendMemory
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			if r.Backend != "" {
+				kind = r.Backend
+			}
+		}
+	}
+	return string(kind)
+}
+
+// runBackend reports the execution backend a scenario resolves to at the
+// preset — what the run banner shows.
+func runBackend(id string, p experiment.Preset) engine.ExecBackend {
+	sp, ok := engine.Get(id)
+	if !ok || sp.Custom != nil {
+		return engine.BackendMemory
+	}
+	kind := engine.ResolveBackend(engine.RunSpec{}, p)
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			if b := engine.ResolveBackend(r, p); b != engine.BackendMemory {
+				kind = b
+			}
+		}
+	}
+	return kind
 }
 
 // runSubstrate reports the backend and resident RTT-state size of a

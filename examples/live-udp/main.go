@@ -1,25 +1,143 @@
-// Live UDP demo: five Vivaldi daemons on loopback sockets, with a
-// synthetic latency model injected at the responder, converge to
-// coordinates that predict the injected RTTs. One node then turns
-// malicious (forged coordinate + tiny error) and the demo shows the
-// honest nodes' predictions degrading — the paper's attack on a real
-// socket path.
+// Live UDP demo, in two modes.
+//
+// Default (virtual): five Vivaldi daemons exchange real wire-protocol
+// packets over a deterministic virtual UDP network (internal/simnet) with
+// injected latency, 10% packet loss and occasional reordering. They
+// converge to coordinates predicting the injected RTTs in milliseconds of
+// wall time — the virtual clock makes the run instant and bit-for-bit
+// reproducible, which is why CI can smoke-test it. One node then turns
+// malicious (forged coordinate, tiny claimed error) and the honest mesh
+// is dragged thousands of milliseconds from the origin — the paper's
+// repulsion end-state (§5.3.2) over a real socket path.
+//
+// With -real, the same story plays out over genuine loopback UDP sockets
+// and wall-clock time (about ten seconds), using the daemon the vna-node
+// command deploys.
+//
+// The same live execution path scales to whole paper figures:
+//
+//	go run ./cmd/vna-sim -scenario fig09 -backend live
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"time"
 
 	vna "repro"
+	"repro/internal/daemon"
+	"repro/internal/simnet"
 	"repro/internal/wire"
 )
 
-func main() {
-	// One-way "positions" on a line, milliseconds; RTT = |pi - pj|.
-	positions := []float64{0, 25, 50, 75, 100}
-	n := len(positions)
+// positions are one-way "positions" on a line, milliseconds;
+// RTT = |pi − pj|.
+var positions = []float64{0, 25, 50, 75, 100}
 
+func main() {
+	real := flag.Bool("real", false, "run over genuine loopback UDP sockets (wall-clock, ~10s)")
+	flag.Parse()
+	if *real {
+		realMain()
+		return
+	}
+
+	n := len(positions)
+	sim := simnet.New()
+	network := simnet.NewNetwork(sim, simnet.NetConfig{
+		// One-way delay = half the RTT, so a probe exchange measures it.
+		Latency: func(from, to int) time.Duration {
+			return time.Duration(math.Abs(positions[from]-positions[to]) * float64(time.Millisecond) / 2)
+		},
+		Loss:    0.10,
+		Reorder: 0.05,
+		Seed:    7,
+	})
+
+	nodes := make([]*daemon.SimNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = daemon.NewSimNode(sim, network, i, daemon.SimConfig{
+			ProbeInterval: 100 * time.Millisecond,
+			Seed:          int64(i + 1),
+		})
+	}
+	for i, a := range nodes {
+		var peers []int
+		for j := range nodes {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		a.SetPeers(peers)
+	}
+
+	fmt.Println("converging 5 daemons over a lossy virtual UDP network (10% loss)...")
+	sim.RunUntil(60 * time.Second) // 600 probes per node, no wall time at all
+	st := network.Stats()
+	fmt.Printf("network: %d packets sent, %d dropped, %d reordered\n\n", st.Sent, st.Dropped, st.Reordered)
+	fmt.Println("predicted vs injected RTT (ms), honest mesh:")
+	printSimPairs(nodes)
+
+	// Node 4 turns malicious: its replies now report a far-away coordinate
+	// with a tiny error estimate — rewritten at the wire layer, exactly
+	// what the engine's `-backend live` attack injection does.
+	nodes[4].SetForge(func(honest wire.ProbeResponse, prober int) (wire.ProbeResponse, time.Duration) {
+		for k := range honest.Vec {
+			honest.Vec[k] = 5000
+		}
+		honest.Error = 0.01
+		return honest, 0
+	})
+	fmt.Println("\nnode 4 is now lying (forged coordinate, tiny error)...")
+	sim.RunUntil(100 * time.Second)
+
+	fmt.Println("\npredicted vs injected RTT (ms), node 4 malicious:")
+	printSimPairs(nodes[:4])
+
+	// The damage is the paper's repulsion end-state (§5.3.2): chasing the
+	// lie, the victims relocate until it becomes self-consistent — the
+	// whole honest mesh ends up around the attacker's claimed position,
+	// thousands of milliseconds from the origin.
+	claimed := vna.Coord{V: []float64{5000, 5000}}
+	fmt.Println("\nvictims have been exiled around the attacker's claimed position:")
+	for i := 0; i < 4; i++ {
+		truth := math.Abs(positions[i] - positions[4])
+		c := nodes[i].Coord()
+		norm := 0.0
+		for _, v := range c.V {
+			norm += v * v
+		}
+		dist := 0.0
+		for k, v := range c.V {
+			d := v - claimed.V[k]
+			dist += d * d
+		}
+		fmt.Printf("  %d: dist to Xtarget %7.1f (true RTT to attacker %5.1f) — coordinate norm %.0f\n",
+			i, math.Sqrt(dist), truth, math.Sqrt(norm))
+	}
+	fmt.Println("(a clean node's coordinate norm is ~100; the attack teleported the mesh)")
+}
+
+func printSimPairs(nodes []*daemon.SimNode) {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			ci, cj := nodes[i].Coord(), nodes[j].Coord()
+			sum := 0.0
+			for k := range ci.V {
+				d := ci.V[k] - cj.V[k]
+				sum += d * d
+			}
+			pred := math.Sqrt(sum)
+			truth := math.Abs(positions[i] - positions[j])
+			fmt.Printf("  %d-%d predicted %6.1f  true %5.1f\n", i, j, pred, truth)
+		}
+	}
+}
+
+// realMain is the wall-clock variant over genuine loopback sockets.
+func realMain() {
+	n := len(positions)
 	nodes := make([]*vna.UDPNode, n)
 	addrPos := make(map[string]float64, n)
 
@@ -93,12 +211,6 @@ func main() {
 	fmt.Println("\npredicted vs injected RTT (ms), node 4 malicious:")
 	printPairs(nodes[:4], positions[:4])
 
-	// The damage is the paper's repulsion end-state (§5.3.2): chasing the
-	// lie, the victims relocate until it becomes self-consistent — the
-	// whole honest mesh ends up *around the attacker's chosen Xtarget*,
-	// thousands of milliseconds from the origin. Relative honest-pair
-	// predictions survive, but to any node not under attack the victims
-	// now appear unreachable, and the attacker dictated where they live.
 	space := vna.EuclideanHeight(2)
 	claimed := vna.Coord{V: []float64{5000, 5000}, H: 0.1}
 	fmt.Println("\nvictims have been exiled around the attacker's claimed position:")

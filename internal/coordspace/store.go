@@ -271,6 +271,13 @@ func (st *Store) CopyRange(src *Store, lo, hi int) {
 	copy(st.data[lo*st.stride:hi*st.stride], src.data[lo*src.stride:hi*src.stride])
 }
 
+// CopySlotFrom copies one slot of src (same space) into slot dst — the
+// live engine backend's barrier readout: each daemon's one-slot store is
+// copied into the population store without materialising a Coord.
+func (st *Store) CopySlotFrom(dst int, src *Store, srcSlot int) {
+	copy(st.slot(dst), src.slot(srcSlot))
+}
+
 // CopyFrom copies every slot from src.
 func (st *Store) CopyFrom(src *Store) {
 	st.CopyRange(src, 0, st.n)

@@ -1,16 +1,26 @@
-// Package daemon runs Vivaldi over real UDP sockets: each Node owns a
-// socket, probes its peers on a timer, and feeds the measured RTTs into
-// the same vivaldi.Node state machine the simulator uses. This is the
-// "coordinate system as an always-on service" deployment the paper's
-// introduction motivates, and the attack surface it analyzes: a malicious
-// daemon can forge the coordinate and error it reports (Forge hook) and
-// delay its responses (Latency hook), but it can never shorten a measured
-// RTT — probers only accept responses that echo the exact timestamp and
-// sequence number of an in-flight probe.
+// Package daemon runs Vivaldi as a live network service: a node probes
+// its peers on a timer, measures round-trip times against in-flight probe
+// state, and feeds the samples into the same vivaldi.Node state machine
+// the simulator uses. This is the "coordinate system as an always-on
+// service" deployment the paper's introduction motivates, and the attack
+// surface it analyzes: a malicious daemon can forge the coordinate and
+// error it reports (Forge hook) and delay its responses, but it can never
+// shorten a measured RTT — probers only accept responses that echo the
+// exact timestamp and sequence number of an in-flight probe.
 //
-// The Latency hook doubles as a topology emulator on loopback: tests give
-// every node a synthetic RTT function and the daemons converge to
-// coordinates predicting it.
+// The daemon exists in two forms over one shared protocol core
+// (protocol.go):
+//
+//   - Node binds a real UDP socket and runs on goroutines and the wall
+//     clock (deployed by cmd/vna-node). Its Latency hook doubles as a
+//     topology emulator on loopback: tests give every node a synthetic
+//     RTT function and the daemons converge to coordinates predicting it.
+//   - SimNode speaks the same wire protocol over an internal/simnet
+//     virtual network and clock, with no goroutines at all — every send,
+//     delivery and timer is a deterministic simulation event. It is what
+//     the engine's live execution backend boots per host, which is how
+//     whole attack scenarios replay over real message exchange
+//     bit-for-bit reproducibly.
 package daemon
 
 import (
@@ -79,12 +89,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-type inflight struct {
-	sentNano int64
-	peer     string
-	deadline time.Time
-}
-
 // Node is a live Vivaldi daemon.
 type Node struct {
 	cfg  Config
@@ -94,7 +98,7 @@ type Node struct {
 	vn       *vivaldi.Node
 	rng      *rand.Rand
 	peers    []*net.UDPAddr
-	pending  map[uint32]inflight
+	pending  map[uint32]pendingProbe[string]
 	seq      uint32
 	updates  int
 	closed   bool
@@ -120,7 +124,7 @@ func New(cfg Config) (*Node, error) {
 		conn:     conn,
 		vn:       vivaldi.NewNode(cfg.Vivaldi, randx.New(cfg.Seed)),
 		rng:      randx.NewDerived(cfg.Seed, "daemon", 0),
-		pending:  make(map[uint32]inflight),
+		pending:  make(map[uint32]pendingProbe[string]),
 		closedCh: make(chan struct{}),
 	}
 	n.wg.Add(2)
@@ -211,17 +215,12 @@ func (n *Node) sendProbe() {
 	n.seq++
 	seq := n.seq
 	now := time.Now()
-	n.pending[seq] = inflight{
-		sentNano: now.UnixNano(),
-		peer:     peer.String(),
-		deadline: now.Add(n.cfg.ProbeTimeout),
+	n.pending[seq] = pendingProbe[string]{
+		sentNano:     now.UnixNano(),
+		peer:         peer.String(),
+		deadlineNano: now.Add(n.cfg.ProbeTimeout).UnixNano(),
 	}
-	// Opportunistic GC of timed-out probes.
-	for s, p := range n.pending {
-		if now.After(p.deadline) {
-			delete(n.pending, s)
-		}
-	}
+	gcPending(n.pending, now.UnixNano()) // opportunistic GC of timed-out probes
 	n.mu.Unlock()
 
 	pkt := wire.AppendRequest(make([]byte, 0, 64), wire.ProbeRequest{
@@ -266,18 +265,12 @@ func (n *Node) handleRequest(req wire.ProbeRequest, from *net.UDPAddr) {
 	errEst := n.vn.Error()
 	n.mu.Unlock()
 
-	resp := wire.ProbeResponse{
-		Seq:      req.Seq,
-		EchoNano: req.SentNano,
-		Error:    errEst,
-		Height:   coord.H,
-		Vec:      coord.V,
-	}
+	resp := honestResponse(req, coord, errEst)
 	peer := from.String()
 	if n.cfg.Forge != nil {
-		resp = n.cfg.Forge(resp, peer)
-		resp.Seq = req.Seq           // forgers cannot fake protocol identity
-		resp.EchoNano = req.SentNano // nor the echoed timestamp
+		// Forgers cannot fake protocol identity (sequence number, echoed
+		// timestamp); clampForged re-pins both.
+		resp = clampForged(req, n.cfg.Forge(resp, peer))
 	}
 	pkt := wire.AppendResponse(make([]byte, 0, 512), resp)
 
@@ -303,18 +296,9 @@ func (n *Node) handleResponse(resp wire.ProbeResponse, from *net.UDPAddr) {
 	now := time.Now().UnixNano()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	p, ok := n.pending[resp.Seq]
-	if !ok || p.peer != from.String() || p.sentNano != resp.EchoNano {
-		return // unsolicited or replayed: cannot be used to shorten RTTs
-	}
-	delete(n.pending, resp.Seq)
-	rttMs := float64(now-p.sentNano) / 1e6
-	if rttMs <= 0 {
-		return
-	}
-	space := n.cfg.Vivaldi.Space
-	if len(resp.Vec) != space.Dims {
-		return // peer speaks a different geometry; ignore
+	rttMs, ok := matchResponse(n.pending, resp, from.String(), now, n.cfg.Vivaldi.Space.Dims)
+	if !ok {
+		return // unsolicited, replayed or malformed: cannot shorten RTTs
 	}
 	n.vn.Update(vivaldi.ProbeResponse{
 		Coord: coordspace.Coord{V: resp.Vec, H: resp.Height},

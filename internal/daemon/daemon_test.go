@@ -170,7 +170,8 @@ func TestResponseValidationDropsForgedEcho(t *testing.T) {
 	}
 	defer n.Close()
 	n.mu.Lock()
-	n.pending[7] = inflight{sentNano: 1000, peer: "1.2.3.4:5", deadline: time.Now().Add(time.Hour)}
+	n.pending[7] = pendingProbe[string]{sentNano: 1000, peer: "1.2.3.4:5",
+		deadlineNano: time.Now().Add(time.Hour).UnixNano()}
 	n.mu.Unlock()
 
 	before := n.Updates()
@@ -196,8 +197,8 @@ func TestDimensionMismatchIgnored(t *testing.T) {
 	}
 	defer n.Close()
 	n.mu.Lock()
-	n.pending[1] = inflight{sentNano: time.Now().Add(-10 * time.Millisecond).UnixNano(),
-		peer: "1.2.3.4:5", deadline: time.Now().Add(time.Hour)}
+	n.pending[1] = pendingProbe[string]{sentNano: time.Now().Add(-10 * time.Millisecond).UnixNano(),
+		peer: "1.2.3.4:5", deadlineNano: time.Now().Add(time.Hour).UnixNano()}
 	n.mu.Unlock()
 	addr, _ := netResolve("1.2.3.4:5")
 	n.handleResponse(wire.ProbeResponse{

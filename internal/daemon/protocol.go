@@ -1,0 +1,77 @@
+package daemon
+
+import (
+	"repro/internal/coordspace"
+	"repro/internal/wire"
+)
+
+// This file is the transport-agnostic core of the daemon protocol, shared
+// by the real-UDP Node and the simnet-backed SimNode: building the
+// truthful response to a probe, clamping what a Forge hook may rewrite,
+// and validating responses against the in-flight probe set. Peer addresses
+// are a type parameter (string UDP addresses vs integer simnet node ids);
+// clocks are plain nanosecond counts (wall clock vs virtual).
+
+// pendingProbe is one in-flight probe awaiting its response.
+type pendingProbe[P comparable] struct {
+	sentNano     int64
+	peer         P
+	deadlineNano int64
+}
+
+// honestResponse is the truthful reply to req from the responder's current
+// Vivaldi state.
+func honestResponse(req wire.ProbeRequest, coord coordspace.Coord, errEst float64) wire.ProbeResponse {
+	return wire.ProbeResponse{
+		Seq:      req.Seq,
+		EchoNano: req.SentNano,
+		Error:    errEst,
+		Height:   coord.H,
+		Vec:      coord.V,
+	}
+}
+
+// clampForged re-pins the protocol identity fields of a forged response: a
+// malicious hook may rewrite coordinate state freely, but never the
+// sequence number or the echoed timestamp — those are what let the prober
+// reject unsolicited or replayed responses, and what make RTT inflation
+// the only timing attack available (a forger cannot fake a *later* send
+// time without the prober noticing a response to a never-sent probe).
+func clampForged(req wire.ProbeRequest, forged wire.ProbeResponse) wire.ProbeResponse {
+	forged.Seq = req.Seq
+	forged.EchoNano = req.SentNano
+	return forged
+}
+
+// matchResponse validates resp against the in-flight probe set: the
+// sequence number must identify a pending probe, the response must come
+// from the probed peer, echo the exact send timestamp, carry the prober's
+// coordinate dimensionality and yield a positive RTT. On success the
+// pending entry is consumed and the measured RTT in milliseconds is
+// returned; on any mismatch the pending set is left untouched, so a
+// replayed or spoofed packet cannot be used to shorten a measured RTT.
+func matchResponse[P comparable](pend map[uint32]pendingProbe[P], resp wire.ProbeResponse, from P, nowNano int64, dims int) (float64, bool) {
+	p, ok := pend[resp.Seq]
+	if !ok || p.peer != from || p.sentNano != resp.EchoNano {
+		return 0, false
+	}
+	if len(resp.Vec) != dims {
+		return 0, false // peer speaks a different geometry; ignore
+	}
+	rttMs := float64(nowNano-p.sentNano) / 1e6
+	if rttMs <= 0 {
+		return 0, false
+	}
+	delete(pend, resp.Seq)
+	return rttMs, true
+}
+
+// gcPending drops probes whose response deadline has passed. Outcomes are
+// independent per entry, so the map's iteration order does not matter.
+func gcPending[P comparable](pend map[uint32]pendingProbe[P], nowNano int64) {
+	for seq, p := range pend {
+		if nowNano > p.deadlineNano {
+			delete(pend, seq)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package daemon
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/coordspace"
+	"repro/internal/randx"
+	"repro/internal/simnet"
+	"repro/internal/vivaldi"
+	"repro/internal/wire"
+)
+
+// SimForge rewrites the coordinate state a malicious node reports to a
+// specific prober, and returns an extra response delay (how an attacker
+// inflates the measured RTT — the only timing manipulation the protocol
+// permits). The honest response is what the node would truthfully send.
+type SimForge func(honest wire.ProbeResponse, prober int) (forged wire.ProbeResponse, delay time.Duration)
+
+// SimConfig configures a simnet-backed daemon node. Zero values take
+// defaults.
+type SimConfig struct {
+	// Vivaldi configures the embedded algorithm; unlike the UDP daemon's
+	// Config the zero space takes the vivaldi package default (2-D
+	// Euclidean), so a simulated population and a live one built from the
+	// same Config embed in the same geometry.
+	Vivaldi vivaldi.Config
+
+	// ProbeInterval is the virtual time between outgoing probes (default
+	// 3 s — roughly the paper's probing cadence).
+	ProbeInterval time.Duration
+
+	// ProbeTimeout discards in-flight probes that were never answered
+	// (default 4× ProbeInterval). Lost and heavily delayed packets time
+	// out here instead of wedging the pending set.
+	ProbeTimeout time.Duration
+
+	// Seed makes peer selection deterministic (default 1).
+	Seed int64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 3 * time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 4 * c.ProbeInterval
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SimNode is the daemon's event-driven form: the same wire protocol, probe
+// validation and Vivaldi state machine as the UDP Node, but driven
+// entirely by a simnet virtual clock and packet network. There are no
+// goroutines and no locks — every send, delivery and timer is an event on
+// the owning Sim, which is what makes whole live-network runs (including
+// injected faults and attacks) bit-for-bit reproducible from a seed.
+type SimNode struct {
+	id   int
+	cfg  SimConfig
+	sim  *simnet.Sim
+	port *simnet.Port
+	vn   *vivaldi.Node
+	rng  *rand.Rand
+
+	peers   []int
+	forge   SimForge
+	pending map[uint32]pendingProbe[int]
+	seq     uint32
+	updates int
+	stop    func()
+
+	reqBuf  []byte // reused encoding buffers: steady-state probing
+	respBuf []byte // allocates only for in-flight packet copies
+}
+
+// NewSimNode boots a daemon node on net, addressed by id, probing every
+// ProbeInterval of virtual time. Close releases the port and stops the
+// probe ticker.
+func NewSimNode(sim *simnet.Sim, net *simnet.Network, id int, cfg SimConfig) *SimNode {
+	cfg = cfg.withDefaults()
+	n := &SimNode{
+		id:      id,
+		cfg:     cfg,
+		sim:     sim,
+		vn:      vivaldi.NewNode(cfg.Vivaldi, randx.New(cfg.Seed)),
+		rng:     randx.NewDerived(cfg.Seed, "daemon", id),
+		pending: make(map[uint32]pendingProbe[int]),
+	}
+	n.port = net.Open(id, n.onPacket)
+	n.stop = sim.Ticker(cfg.ProbeInterval, func(int) bool {
+		n.sendProbe()
+		return true
+	})
+	return n
+}
+
+// ID returns the node's network address.
+func (n *SimNode) ID() int { return n.id }
+
+// SetPeers replaces the peer set probes are drawn from.
+func (n *SimNode) SetPeers(peers []int) { n.peers = peers }
+
+// SetForge installs (or, with nil, removes) the malicious response
+// rewriter. While a forge is installed the node keeps probing — it must
+// appear to participate — but stops moving its own coordinate, matching
+// the simulated System's attacker semantics.
+func (n *SimNode) SetForge(f SimForge) { n.forge = f }
+
+// Coord returns the node's current coordinate estimate.
+func (n *SimNode) Coord() coordspace.Coord { return n.vn.Coord() }
+
+// ErrorEstimate returns the node's current local error estimate.
+func (n *SimNode) ErrorEstimate() float64 { return n.vn.Error() }
+
+// Updates returns how many samples the node has applied.
+func (n *SimNode) Updates() int { return n.updates }
+
+// SyncInto copies the node's coordinate into slot i of dst — the engine's
+// barrier readout.
+func (n *SimNode) SyncInto(dst *coordspace.Store, i int) { n.vn.SyncInto(dst, i) }
+
+// Close releases the port and stops the probe ticker.
+func (n *SimNode) Close() {
+	n.stop()
+	n.port.Close()
+}
+
+func (n *SimNode) sendProbe() {
+	if len(n.peers) == 0 {
+		return
+	}
+	peer := n.peers[n.rng.Intn(len(n.peers))]
+	n.seq++
+	now := n.sim.Now()
+	n.pending[n.seq] = pendingProbe[int]{
+		sentNano:     now.Nanoseconds(),
+		peer:         peer,
+		deadlineNano: (now + n.cfg.ProbeTimeout).Nanoseconds(),
+	}
+	gcPending(n.pending, now.Nanoseconds())
+	n.reqBuf = wire.AppendRequest(n.reqBuf[:0], wire.ProbeRequest{
+		Seq:      n.seq,
+		SentNano: now.Nanoseconds(),
+	})
+	n.port.Send(peer, n.reqBuf)
+}
+
+func (n *SimNode) onPacket(pkt []byte, from int) {
+	msg, err := wire.Decode(pkt)
+	if err != nil {
+		return // hostile or corrupt packet: drop silently
+	}
+	switch m := msg.(type) {
+	case wire.ProbeRequest:
+		n.handleRequest(m, from)
+	case wire.ProbeResponse:
+		n.handleResponse(m, from)
+	}
+}
+
+func (n *SimNode) handleRequest(req wire.ProbeRequest, from int) {
+	resp := honestResponse(req, n.vn.Coord(), n.vn.Error())
+	var delay time.Duration
+	if n.forge != nil {
+		var forged wire.ProbeResponse
+		forged, delay = n.forge(resp, from)
+		resp = clampForged(req, forged)
+	}
+	n.respBuf = wire.AppendResponse(n.respBuf[:0], resp)
+	if delay <= 0 {
+		n.port.Send(from, n.respBuf)
+		return
+	}
+	held := append([]byte(nil), n.respBuf...)
+	n.sim.After(delay, func() { n.port.Send(from, held) })
+}
+
+func (n *SimNode) handleResponse(resp wire.ProbeResponse, from int) {
+	rttMs, ok := matchResponse(n.pending, resp, from, n.sim.Now().Nanoseconds(), n.vn.Config().Space.Dims)
+	if !ok {
+		return // unsolicited, replayed or malformed: cannot shorten RTTs
+	}
+	if n.forge != nil {
+		return // malicious nodes do not move themselves
+	}
+	n.vn.Update(vivaldi.ProbeResponse{
+		Coord: coordspace.Coord{V: resp.Vec, H: resp.Height},
+		Error: resp.Error,
+		RTT:   rttMs,
+	})
+	n.updates++
+}

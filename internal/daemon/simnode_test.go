@@ -1,0 +1,159 @@
+package daemon
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/coordspace"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// lineRTT places nodes on a line; RTT(i,j) = |pos_i − pos_j| ms.
+func lineRTT(pos []float64) func(i, j int) time.Duration {
+	return func(i, j int) time.Duration {
+		return time.Duration(math.Abs(pos[i]-pos[j]) * float64(time.Millisecond))
+	}
+}
+
+// simMesh boots n fully meshed SimNodes over a virtual network whose
+// one-way delays realise rtt (half each way).
+func simMesh(n int, rtt func(i, j int) time.Duration, netCfg simnet.NetConfig) (*simnet.Sim, *simnet.Network, []*SimNode) {
+	sim := simnet.New()
+	netCfg.Latency = func(from, to int) time.Duration { return rtt(from, to) / 2 }
+	network := simnet.NewNetwork(sim, netCfg)
+	nodes := make([]*SimNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewSimNode(sim, network, i, SimConfig{
+			ProbeInterval: 100 * time.Millisecond,
+			Seed:          int64(i + 1),
+		})
+	}
+	for i, a := range nodes {
+		var peers []int
+		for j := range nodes {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		a.SetPeers(peers)
+	}
+	return sim, network, nodes
+}
+
+func TestSimMeshEmbedsLineTopology(t *testing.T) {
+	pos := []float64{0, 30, 60}
+	sim, _, nodes := simMesh(3, lineRTT(pos), simnet.NetConfig{})
+
+	sim.RunUntil(60 * time.Second) // 600 probes per node, all virtual
+	for i, n := range nodes {
+		if n.Updates() < 300 {
+			t.Fatalf("node %d applied only %d updates", i, n.Updates())
+		}
+	}
+	near := nodes[0].vn.Config().Space.Dist(nodes[0].Coord(), nodes[1].Coord())
+	far := nodes[0].vn.Config().Space.Dist(nodes[0].Coord(), nodes[2].Coord())
+	if far <= near {
+		t.Fatalf("line topology not embedded: near=%.1fms far=%.1fms", near, far)
+	}
+	if far < 25 || far > 150 {
+		t.Fatalf("far pair predicted %.1fms for 60ms injected", far)
+	}
+}
+
+// TestSimMeshDeterministic replays the same faulty mesh twice: identical
+// seeds must give bit-identical coordinates — the property that makes the
+// live engine backend a legitimate scenario executor.
+func TestSimMeshDeterministic(t *testing.T) {
+	run := func(seed int64) [][]float64 {
+		sim, _, nodes := simMesh(4, lineRTT([]float64{0, 20, 40, 80}), simnet.NetConfig{
+			Loss: 0.1, Duplicate: 0.05, Reorder: 0.1, Seed: seed,
+		})
+		sim.RunUntil(20 * time.Second)
+		out := make([][]float64, len(nodes))
+		for i, n := range nodes {
+			c := n.Coord()
+			out[i] = append(append([]float64(nil), c.V...), c.H, n.ErrorEstimate())
+		}
+		return out
+	}
+	a, b := run(3), run(3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different live coordinates")
+	}
+	if c := run(4); reflect.DeepEqual(a, c) {
+		t.Fatal("network fault seed had no effect on the run")
+	}
+}
+
+// TestSimMeshSurvivesLoss checks the protocol under a lossy, duplicating,
+// reordering network: pending probes time out instead of accumulating, and
+// the mesh still embeds the topology.
+func TestSimMeshSurvivesLoss(t *testing.T) {
+	pos := []float64{0, 30, 60}
+	sim, network, nodes := simMesh(3, lineRTT(pos), simnet.NetConfig{
+		Loss: 0.2, Duplicate: 0.1, Reorder: 0.2, Seed: 9,
+	})
+	sim.RunUntil(90 * time.Second)
+
+	st := network.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Reordered == 0 {
+		t.Fatalf("fault injection inactive: %+v", st)
+	}
+	for i, n := range nodes {
+		if n.Updates() < 200 {
+			t.Fatalf("node %d applied only %d updates under 20%% loss", i, n.Updates())
+		}
+		if len(n.pending) > 8 {
+			t.Fatalf("node %d pending set grew to %d (timeout GC broken?)", i, len(n.pending))
+		}
+	}
+	far := nodes[0].vn.Config().Space.Dist(nodes[0].Coord(), nodes[2].Coord())
+	if far < 20 || far > 180 {
+		t.Fatalf("far pair predicted %.1fms for 60ms injected under faults", far)
+	}
+}
+
+// TestSimForgedRepliesTraverseWire asserts the malicious path end to end at
+// the wire layer: a tapped node's forged reply is (1) re-clamped so it
+// cannot fake protocol identity, (2) round-trips the wire encoding intact,
+// and (3) drags the victim toward the forged coordinate while the added
+// response delay inflates — never shortens — the measured RTT.
+func TestSimForgedRepliesTraverseWire(t *testing.T) {
+	sim, _, nodes := simMesh(2, func(i, j int) time.Duration { return 10 * time.Millisecond }, simnet.NetConfig{})
+
+	lie := []float64{4000, 4000}
+	var observed []wire.ProbeResponse
+	nodes[1].SetForge(func(honest wire.ProbeResponse, prober int) (wire.ProbeResponse, time.Duration) {
+		forged := honest
+		forged.Vec = lie
+		forged.Error = 0.01
+		forged.Seq = 0xdeadbeef // identity forgery: must be clamped away
+		forged.EchoNano = 42
+		observed = append(observed, honest)
+		return forged, 5 * time.Millisecond
+	})
+
+	sim.RunUntil(30 * time.Second)
+
+	if len(observed) == 0 {
+		t.Fatal("forge hook never consulted")
+	}
+	if v := nodes[0].Updates(); v < 100 {
+		// The clamp is what lets the forged responses through validation at
+		// all: had Seq/EchoNano forgery survived, every reply would have
+		// been rejected as unsolicited.
+		t.Fatalf("victim applied only %d updates — clamped forgeries rejected?", v)
+	}
+	victim := nodes[0].Coord()
+	d := nodes[0].vn.Config().Space.Dist(victim, coordspace.Coord{V: lie})
+	if d > 2000 {
+		t.Fatalf("victim at %v, not dragged toward the forged coordinate (dist %.0f)", victim, d)
+	}
+	// The attacker itself never moved: forged nodes do not apply updates.
+	if nodes[1].Updates() != 0 {
+		t.Fatalf("malicious node applied %d updates", nodes[1].Updates())
+	}
+}

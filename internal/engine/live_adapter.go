@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/coordspace"
+	"repro/internal/daemon"
+	"repro/internal/latency"
+	"repro/internal/randx"
+	"repro/internal/simnet"
+	"repro/internal/vivaldi"
+	"repro/internal/wire"
+)
+
+// liveSystem is the live-UDP execution backend: a CoordSystem whose
+// population is N daemon nodes exchanging real wire-protocol packets over
+// a virtual UDP network (internal/simnet), with one-way delays drawn from
+// the run's latency substrate. Where the in-memory adapter applies the
+// update rule in a closed-form loop, here every measurement is a real
+// request/response exchange — encoded, transmitted, delayed, possibly
+// lost or reordered, decoded and validated — which is the deployment
+// model the paper attacks.
+//
+//   - Step is a virtual-time barrier: it drains the simnet event queue
+//     for one tick interval (every node probes once per interval) and
+//     then reads the daemons' coordinates into the flat coordspace.Store,
+//     so the engine's metrics and reducers work unchanged.
+//   - Inject installs attacker taps at the wire layer: a tapped daemon's
+//     replies are rewritten (forged coordinates and error) and delayed
+//     (RTT inflation — the only timing manipulation the protocol's
+//     response validation leaves open) before they are encoded.
+//   - Everything — probe timers, packet deliveries, fault draws, tap
+//     decisions — executes in deterministic event order on the virtual
+//     clock, so a fixed seed yields bit-identical series for any worker
+//     count, same as the in-memory backend.
+type liveSystem struct {
+	cfg      vivaldi.Config // resolved (defaults applied)
+	m        latency.Substrate
+	sim      *simnet.Sim
+	net      *simnet.Network
+	nodes    []*daemon.SimNode
+	taps     []vivaldi.Tap
+	store    *coordspace.Store
+	errs     []float64
+	tick     int
+	interval time.Duration
+}
+
+// liveTickInterval is the virtual time one engine Step advances the live
+// network: each daemon probes one neighbour per interval, mirroring the
+// in-memory simulation's one-probe-per-node tick. It comfortably exceeds
+// the substrate's RTTs, so a tick's honest responses are applied within
+// the same barrier rather than lagging into the next.
+const liveTickInterval = 3 * time.Second
+
+// liveProbeTimeout is how long a live node waits for a response. Over a
+// real transport an attacker inflates RTTs by *delaying* replies, so the
+// prober's timeout caps the largest RTT lie that can ever be applied —
+// a constraint the closed-form simulation does not have. The colluding
+// attacks claim RTTs up to ~5× the 50 000 ms exile radius (see
+// core.repelToward), so the engine's live nodes wait out any lie the
+// registered attacks tell; shrinking this toward the UDP daemon's 3 s
+// default is itself a defense, at the price of tolerating fewer genuinely
+// slow paths.
+const liveProbeTimeout = 500 * time.Second
+
+// LiveNetConfig exposes the virtual network's fault knobs for live runs
+// built directly through NewLiveNet (the spec registry path runs the
+// default perfect network, matching the in-memory engine's loss model).
+type LiveNetConfig struct {
+	Loss         float64
+	Duplicate    float64
+	Reorder      float64
+	ReorderDelay time.Duration
+}
+
+// NewLive boots a live-backend population over m: N daemon nodes on a
+// virtual UDP network realising the substrate's RTTs, wired with the same
+// spring structure the in-memory system would use at this seed.
+func NewLive(m latency.Substrate, cfg vivaldi.Config, seed int64, sh Sharder) CoordSystem {
+	return NewLiveNet(m, cfg, seed, sh, LiveNetConfig{})
+}
+
+// NewLiveNet is NewLive with explicit network fault injection.
+func NewLiveNet(m latency.Substrate, cfg vivaldi.Config, seed int64, sh Sharder, nc LiveNetConfig) CoordSystem {
+	cfg = cfg.Resolved()
+	n := m.Size()
+	sim := simnet.New()
+	net := simnet.NewNetwork(sim, simnet.NetConfig{
+		// Half the RTT each way: a request/response exchange measures the
+		// substrate's full round-trip time.
+		Latency: func(from, to int) time.Duration {
+			return time.Duration(m.RTT(from, to) * float64(time.Millisecond) / 2)
+		},
+		Loss:         nc.Loss,
+		Duplicate:    nc.Duplicate,
+		Reorder:      nc.Reorder,
+		ReorderDelay: nc.ReorderDelay,
+		Seed:         seed,
+	})
+	ls := &liveSystem{
+		cfg:      cfg,
+		m:        m,
+		sim:      sim,
+		net:      net,
+		nodes:    make([]*daemon.SimNode, n),
+		taps:     make([]vivaldi.Tap, n),
+		store:    coordspace.NewStore(cfg.Space, n),
+		errs:     make([]float64, n),
+		interval: liveTickInterval,
+	}
+	neighbors := vivaldi.NeighborSets(m, cfg, seed, sh)
+	for i := 0; i < n; i++ {
+		ls.nodes[i] = daemon.NewSimNode(sim, net, i, daemon.SimConfig{
+			Vivaldi:       cfg,
+			ProbeInterval: ls.interval,
+			ProbeTimeout:  liveProbeTimeout,
+			Seed:          randx.DeriveSeed(seed, "live-node", i),
+		})
+		ls.nodes[i].SetPeers(neighbors[i])
+		ls.errs[i] = cfg.InitialError
+	}
+	return ls
+}
+
+func (ls *liveSystem) Kind() SystemKind             { return SystemVivaldi }
+func (ls *liveSystem) Size() int                    { return len(ls.nodes) }
+func (ls *liveSystem) Space() coordspace.Space      { return ls.cfg.Space }
+func (ls *liveSystem) Substrate() latency.Substrate { return ls.m }
+func (ls *liveSystem) EligibleAttacker(i int) bool  { return true }
+func (ls *liveSystem) Evaluable(i int) bool         { return true }
+
+// Step advances the live network by one tick interval of virtual time —
+// the barrier that replaces the in-memory backend's closed-form sweep —
+// then synchronises the flat store with the daemons' state. The sharder
+// is used only for the (disjoint-slot) readout; the event drain itself is
+// single-goroutine by simnet's determinism design.
+func (ls *liveSystem) Step(sh Sharder) {
+	ls.tick++
+	ls.sim.RunUntil(time.Duration(ls.tick) * ls.interval)
+	ls.sync(sh)
+}
+
+// sync copies every daemon's coordinate and error estimate into the flat
+// population buffers the measurement pass sweeps.
+func (ls *liveSystem) sync(sh Sharder) {
+	sh.ForEach(len(ls.nodes), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ls.nodes[i].SyncInto(ls.store, i)
+			ls.errs[i] = ls.nodes[i].ErrorEstimate()
+		}
+	})
+}
+
+// SetTap implements the shared attack installer's contract: installing a
+// tap arms the daemon's wire-layer forge, removing it disarms the node.
+func (ls *liveSystem) SetTap(id int, t vivaldi.Tap) {
+	ls.taps[id] = t
+	if t == nil {
+		ls.nodes[id].SetForge(nil)
+		return
+	}
+	ls.nodes[id].SetForge(ls.forgeFor(id))
+}
+
+// forgeFor adapts node id's tap to the daemon's wire hook: the honest
+// wire response is lifted to the tap's view, the tap decides the lie, and
+// the result is lowered back to wire form plus the response delay that
+// realises the tap's RTT inflation on a network where delays are physics.
+func (ls *liveSystem) forgeFor(id int) daemon.SimForge {
+	return func(honest wire.ProbeResponse, prober int) (wire.ProbeResponse, time.Duration) {
+		tap := ls.taps[id]
+		if tap == nil {
+			return honest, 0
+		}
+		hv := vivaldi.ProbeResponse{
+			Coord: coordspace.Coord{V: honest.Vec, H: honest.Height},
+			Error: honest.Error,
+			RTT:   ls.m.RTT(prober, id),
+		}
+		forged := tap.Respond(prober, hv, ls)
+		if forged.RTT < hv.RTT {
+			forged.RTT = hv.RTT // delays only; cannot shorten physics
+		}
+		honest.Error = forged.Error
+		honest.Height = forged.Coord.H
+		honest.Vec = forged.Coord.V
+		return honest, time.Duration((forged.RTT - hv.RTT) * float64(time.Millisecond))
+	}
+}
+
+func (ls *liveSystem) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {
+	return installVivaldiTaps(ls, spec, malicious, seed)
+}
+
+// The vivaldi.View taps consult: coordinates and errors as of the last
+// tick barrier — the attacker's knowledge is what probing the public
+// system would have told it, not instantaneous internal state.
+
+func (ls *liveSystem) Coord(i int) coordspace.Coord { return ls.store.CoordAt(i) }
+func (ls *liveSystem) LocalError(i int) float64     { return ls.errs[i] }
+func (ls *liveSystem) TrueRTT(i, j int) float64     { return ls.m.RTT(i, j) }
+func (ls *liveSystem) Tick() int                    { return ls.tick }
+
+var _ vivaldi.View = (*liveSystem)(nil)
+
+func (ls *liveSystem) Snapshot() []coordspace.Coord {
+	ls.sync(Serial{})
+	return ls.store.Coords()
+}
+
+func (ls *liveSystem) Store() *coordspace.Store { return ls.store }
+
+func (ls *liveSystem) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
+	return measure(ls.m, ls.store, peers, include, sh, out)
+}
+
+// NetStats exposes the virtual network's fault counters (run banners,
+// tests).
+func (ls *liveSystem) NetStats() simnet.NetStats { return ls.net.Stats() }
+
+// Close releases every daemon's port and timer. Engine runs let the
+// garbage collector reclaim finished populations, but long-lived callers
+// (examples, tests that reuse a Sim) can tear down explicitly.
+func (ls *liveSystem) Close() {
+	for _, n := range ls.nodes {
+		n.Close()
+	}
+}

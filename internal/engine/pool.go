@@ -4,6 +4,12 @@
 // and a declarative scenario registry that the experiment layer drives
 // every paper figure through.
 //
+// A scenario's runs execute on one of two backends (RunSpec.Backend): the
+// closed-form in-memory adapters, or the live backend (live_adapter.go),
+// which boots daemon nodes over a virtual UDP network so the same
+// workloads — including attack injection, rewritten at the wire layer —
+// replay over real message exchange.
+//
 // Determinism is the engine's core contract: the shard decomposition of any
 // index range is a pure function of the range length (never of the worker
 // count), every shard owns disjoint state, randomness comes from per-node

@@ -249,6 +249,18 @@ func aggregate(us []unitResult) runOutcome {
 // sharding population construction across sh where the system supports
 // it.
 func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed int64, sh Sharder) (CoordSystem, error) {
+	backend := ResolveBackend(r, sc)
+	if backend == BackendLive {
+		// Spec-pinned live runs are rejected for these at registration
+		// (Validate); this guards the Scale.Backend / -backend override
+		// path, where silently dropping churn would mislabel the output.
+		if kind != SystemVivaldi {
+			return nil, fmt.Errorf("the live backend implements vivaldi only (got %q)", kind)
+		}
+		if r.ChurnFrac > 0 {
+			return nil, fmt.Errorf("the live backend does not support churn")
+		}
+	}
 	switch kind {
 	case SystemVivaldi:
 		var space coordspace.Space
@@ -258,6 +270,9 @@ func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed
 			} else {
 				space = coordspace.Euclidean(r.Dims)
 			}
+		}
+		if backend == BackendLive {
+			return NewLive(m, vivaldi.Config{Space: space}, seed, sh), nil
 		}
 		return NewVivaldiSharded(m, vivaldi.Config{Space: space}, seed, sh), nil
 	case SystemNPS:

@@ -39,6 +39,13 @@ type Scale struct {
 	// it needs the model backend regardless of the preset). Empty means
 	// dense. The vna-sim -substrate flag sets this.
 	Substrate latency.BackendKind
+
+	// Backend overrides the execution backend for every run that does
+	// not pin one itself (RunSpec.Backend wins). Empty means memory.
+	// The vna-sim -backend flag sets this — `-scenario fig09 -backend
+	// live` replays the paper's colluding-isolation figure over live
+	// virtual-UDP daemons.
+	Backend ExecBackend
 }
 
 // Bench is the minimal scale used by the repository's benchmarks and fast
@@ -193,6 +200,19 @@ func ResolveSubstrate(r RunSpec, sc Scale) (kind latency.BackendKind, nodes int)
 		kind = latency.BackendDense
 	}
 	return kind, nodes
+}
+
+// ResolveBackend reports the execution backend a run will actually use at
+// a scale: the RunSpec pin wins over the scale's override, empty means
+// memory.
+func ResolveBackend(r RunSpec, sc Scale) ExecBackend {
+	if r.Backend != "" {
+		return r.Backend
+	}
+	if sc.Backend != "" {
+		return sc.Backend
+	}
+	return BackendMemory
 }
 
 // BaseMatrix returns the scale's full-population dense latency matrix.

@@ -68,11 +68,39 @@ type RunSpec struct {
 	// substrate (subgroups are small by construction).
 	Substrate latency.BackendKind
 
+	// Backend selects how this run's population executes: the closed-form
+	// in-memory engine (the default) or live message exchange — daemon
+	// nodes over a virtual UDP network whose delays come from the run's
+	// substrate, with coordinates read back at every tick barrier. Empty
+	// defers to the scale's Backend override, then to memory. The live
+	// backend implements Vivaldi only.
+	Backend ExecBackend
+
 	// XAxis says which x-value this run contributes to sweep outputs:
 	// the malicious percentage (default), the resolved population size,
 	// or the explicit X field.
 	XAxis XAxis
 	X     float64
+}
+
+// ExecBackend names a run execution backend (see RunSpec.Backend).
+type ExecBackend string
+
+// The selectable execution backends. The empty kind resolves to memory.
+const (
+	BackendMemory ExecBackend = "memory"
+	BackendLive   ExecBackend = "live"
+)
+
+// ParseExecBackend resolves a backend name; empty means memory.
+func ParseExecBackend(name string) (ExecBackend, error) {
+	switch ExecBackend(name) {
+	case "", BackendMemory:
+		return BackendMemory, nil
+	case BackendLive:
+		return BackendLive, nil
+	}
+	return "", fmt.Errorf("engine: unknown execution backend %q (want memory or live)", name)
 }
 
 // XAxis selects a sweep run's x-value.
@@ -200,12 +228,45 @@ func (sp ScenarioSpec) Validate() error {
 			if _, err := latency.ParseBackend(string(r.Substrate)); err != nil {
 				return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
 			}
+			if _, err := ParseExecBackend(string(r.Backend)); err != nil {
+				return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
+			}
+			if r.Backend == BackendLive {
+				if sp.System != SystemVivaldi {
+					return fmt.Errorf("engine: scenario %s: series %q: the live backend implements vivaldi only", sp.Name, s.Label)
+				}
+				if r.ChurnFrac > 0 {
+					return fmt.Errorf("engine: scenario %s: series %q: the live backend does not support churn", sp.Name, s.Label)
+				}
+			}
 		}
 		switch sp.Output {
 		case OutRatioVsTime, OutMeanVsTime, OutTargetVsTime, OutFinalCDF:
 			if len(s.Runs) != 1 {
 				return fmt.Errorf("engine: scenario %s: series %q: time/CDF outputs take exactly one run, got %d",
 					sp.Name, s.Label, len(s.Runs))
+			}
+		}
+	}
+	return nil
+}
+
+// SupportsLive reports whether a live-backend override can apply to this
+// scenario: the live backend implements Vivaldi only, bypasses Custom
+// runners, and rejects churn. The returned error names the first blocker
+// (nil when the override is fine) so callers like cmd/vna-sim can filter
+// or fail upfront instead of aborting mid-loop with partial output.
+func (sp ScenarioSpec) SupportsLive() error {
+	if sp.Custom != nil {
+		return fmt.Errorf("scenario %s cannot run on the live backend (custom runner)", sp.Name)
+	}
+	if sp.System != SystemVivaldi {
+		return fmt.Errorf("scenario %s cannot run on the live backend (vivaldi only)", sp.Name)
+	}
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			if r.ChurnFrac > 0 {
+				return fmt.Errorf("scenario %s cannot run on the live backend (churn is not supported live)", sp.Name)
 			}
 		}
 	}

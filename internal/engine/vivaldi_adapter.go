@@ -47,7 +47,23 @@ func (a *vivaldiAdapter) Measure(peers [][]int, include func(int) bool, sh Shard
 }
 
 func (a *vivaldiAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {
-	sys := a.sys
+	return installVivaldiTaps(a.sys, spec, malicious, seed)
+}
+
+// tapInstaller is what the shared Vivaldi attack installer needs from a
+// population: the in-memory vivaldi.System and the live backend both
+// provide it.
+type tapInstaller interface {
+	SetTap(id int, t vivaldi.Tap)
+	Size() int
+	Space() coordspace.Space
+}
+
+// installVivaldiTaps interprets the paper's Vivaldi attack taxonomy over
+// any tap-accepting population — the single statement of which tap each
+// AttackSpec kind installs, shared by the in-memory adapter and the live
+// backend so an attack means the same thing on both.
+func installVivaldiTaps(sys tapInstaller, spec AttackSpec, malicious []int, seed int64) (*Injection, error) {
 	inj := &Injection{Malicious: malicious, MalSet: core.MemberSet(malicious), Target: -1}
 	switch spec.Kind {
 	case AttackNone:

@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	if _, ok := Get("fig17"); ok {
 		t.Error("fig17 is a diagram, not an experiment — must not be registered")
 	}
-	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k", "attack25k"}
+	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k", "attack25k", "live1740", "liveAttack"}
 	for _, ext := range extras {
 		if _, ok := Get(ext); !ok {
 			t.Errorf("extension experiment %s not registered", ext)
@@ -263,6 +263,26 @@ func TestAttack25kDegrades(t *testing.T) {
 		last := s.Y[len(s.Y)-1]
 		if !(last > 1.05) {
 			t.Errorf("series %q: final error ratio %.3f, want > 1.05 (attack must degrade accuracy)", s.Label, last)
+		}
+	}
+}
+
+// TestLiveAttackSpec runs the registered live-backend colluding-isolation
+// scenario end to end at the bench preset: real wire-protocol exchange
+// over the virtual network, attack injected at the wire layer, reduced by
+// the unchanged figure pipeline. The virtual clock keeps this fast.
+func TestLiveAttackSpec(t *testing.T) {
+	r, err := RunWith("liveAttack", tinyPreset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series %d, want 2", len(r.Series))
+	}
+	for _, s := range r.Series {
+		last := s.Y[len(s.Y)-1]
+		if !(last > 2) {
+			t.Errorf("series %q: final error ratio %.3f, want > 2 (live attack must degrade accuracy)", s.Label, last)
 		}
 	}
 }

@@ -459,6 +459,43 @@ func init() {
 		})
 	}
 
+	// ---- Live-UDP backend probes (ROADMAP: live engine backend) ----
+	// These replay registered workloads over the live execution backend:
+	// daemon nodes exchanging wire-protocol packets over a virtual UDP
+	// network whose delays realise the run's substrate (RunSpec.Backend,
+	// or `vna-sim -backend live` for any Vivaldi scenario). live1740 runs
+	// the paper's full 1740-node population; liveAttack is the fig09
+	// colluding-isolation workload at the preset population, over real
+	// message exchange — the attack's RTT lies become actual response
+	// delays, so its effect lands one probe round-trip later than in the
+	// closed-form engine and is bounded by the probers' timeout.
+	engine.Register(engine.ScenarioSpec{
+		Name: "live1740", Figure: "Live 1740",
+		Title:  "Vivaldi over live virtual UDP at the paper's 1740 nodes: disorder injection",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("clean", engine.RunSpec{Nodes: 1740, Backend: engine.BackendLive}),
+			oneRun("30% disorder", engine.RunSpec{
+				Nodes: 1740, Backend: engine.BackendLive, Frac: 0.30, Attack: disorder(),
+			}),
+		},
+	})
+
+	var liveAttack []engine.SeriesSpec
+	for _, frac := range []float64{0.10, 0.30} {
+		liveAttack = append(liveAttack, oneRun(percentLabel(frac), engine.RunSpec{
+			Backend: engine.BackendLive,
+			Frac:    frac, Attack: colludeRepel(), ExcludeTarget: true,
+		}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "liveAttack", Figure: "Live attack",
+		Title:  "Vivaldi colluding isolation over live virtual UDP: error ratio",
+		XLabel: "tick", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsTime, Series: liveAttack,
+	})
+
 	// attack25k is the attack-at-scale probe: the fig09 colluding
 	// isolation workload (relative error ratio vs time) at 25 000 nodes on
 	// the model substrate — the population-level disruption curve the

@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/randx"
+)
+
+// This file adds a packet layer on top of the event queue: a Network of
+// integer-addressed Ports exchanging datagrams with per-pair one-way
+// delays and configurable fault injection (loss, duplication, reordering).
+// It is the virtual "UDP" the live engine backend boots daemon nodes on:
+// every delivery is an event on the owning Sim, so whole message-level
+// runs — including faults — are bit-for-bit reproducible from a seed.
+
+// NetConfig configures a Network. The zero value is a perfect network:
+// zero delay, no loss, no duplication, no reordering.
+type NetConfig struct {
+	// Latency returns the one-way delay from node `from` to node `to`.
+	// nil means zero delay. The live engine backend supplies half the
+	// substrate RTT here, so a request/response exchange measures the
+	// substrate's full round-trip time.
+	Latency func(from, to int) time.Duration
+
+	// Loss is the probability a transmission is dropped in flight.
+	Loss float64
+
+	// Duplicate is the probability a delivered packet arrives twice (the
+	// copy arrives DuplicateDelay after the original).
+	Duplicate float64
+
+	// Reorder is the probability a packet is held for an extra
+	// ReorderDelay, letting later-sent packets overtake it.
+	Reorder float64
+
+	// ReorderDelay is the extra hold applied to reordered packets
+	// (default 10 ms of virtual time).
+	ReorderDelay time.Duration
+
+	// DuplicateDelay separates a duplicate from its original (default
+	// 1 ms of virtual time).
+	DuplicateDelay time.Duration
+
+	// Seed drives the fault draws (default 1). Fault decisions are made
+	// in send order on the single simulation goroutine, so a fixed seed
+	// reproduces the exact same loss/duplication/reordering pattern.
+	Seed int64
+}
+
+func (c NetConfig) withDefaults() NetConfig {
+	if c.ReorderDelay == 0 {
+		c.ReorderDelay = 10 * time.Millisecond
+	}
+	if c.DuplicateDelay == 0 {
+		c.DuplicateDelay = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NetStats counts what the network did to traffic, for tests and run
+// banners.
+type NetStats struct {
+	Sent       int // transmissions attempted
+	Delivered  int // handler invocations (duplicates count)
+	Dropped    int // lost to NetConfig.Loss
+	Duplicated int // extra copies scheduled
+	Reordered  int // packets held for ReorderDelay
+}
+
+// Network is a virtual datagram fabric over one Sim. It is not safe for
+// concurrent use; like the Sim itself it belongs to the single simulation
+// goroutine.
+type Network struct {
+	sim   *Sim
+	cfg   NetConfig
+	rng   *rand.Rand
+	ports map[int]*Port
+	stats NetStats
+}
+
+// NewNetwork returns an empty network whose deliveries are scheduled on
+// sim.
+func NewNetwork(sim *Sim, cfg NetConfig) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		sim:   sim,
+		cfg:   cfg,
+		rng:   randx.New(cfg.Seed),
+		ports: make(map[int]*Port),
+	}
+}
+
+// Stats returns the fault-injection counters so far.
+func (n *Network) Stats() NetStats { return n.stats }
+
+// Port is one endpoint of the network, addressed by its integer node id.
+type Port struct {
+	net     *Network
+	id      int
+	handler func(pkt []byte, from int)
+	closed  bool
+}
+
+// Open binds a port on node id. The handler runs as a simulation event for
+// every delivered packet; the pkt slice is owned by the handler. Opening a
+// bound id or passing a nil handler panics — both are programming errors
+// in deterministic test setups.
+func (n *Network) Open(id int, handler func(pkt []byte, from int)) *Port {
+	if handler == nil {
+		panic("simnet: nil packet handler")
+	}
+	if _, dup := n.ports[id]; dup {
+		panic(fmt.Sprintf("simnet: port %d already open", id))
+	}
+	p := &Port{net: n, id: id, handler: handler}
+	n.ports[id] = p
+	return p
+}
+
+// ID returns the port's node id.
+func (p *Port) ID() int { return p.id }
+
+// Close unbinds the port; packets in flight toward it are discarded at
+// delivery time.
+func (p *Port) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	delete(p.net.ports, p.id)
+}
+
+// Send transmits pkt to the port bound on node `to`, applying the
+// network's latency and fault model. The payload is copied, so callers may
+// reuse their buffer immediately. Sending to an unbound id is not an
+// error — the packet is silently dropped at delivery, like real UDP.
+func (p *Port) Send(to int, pkt []byte) {
+	if p.closed {
+		return
+	}
+	n := p.net
+	n.stats.Sent++
+	if randx.Bernoulli(n.rng, n.cfg.Loss) {
+		n.stats.Dropped++
+		return
+	}
+	var delay time.Duration
+	if n.cfg.Latency != nil {
+		delay = n.cfg.Latency(p.id, to)
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	if randx.Bernoulli(n.rng, n.cfg.Reorder) {
+		n.stats.Reordered++
+		delay += n.cfg.ReorderDelay
+	}
+	buf := append([]byte(nil), pkt...)
+	n.deliver(p.id, to, buf, delay)
+	if randx.Bernoulli(n.rng, n.cfg.Duplicate) {
+		n.stats.Duplicated++
+		dup := append([]byte(nil), buf...)
+		n.deliver(p.id, to, dup, delay+n.cfg.DuplicateDelay)
+	}
+}
+
+func (n *Network) deliver(from, to int, pkt []byte, delay time.Duration) {
+	n.sim.After(delay, func() {
+		dst, ok := n.ports[to]
+		if !ok || dst.closed {
+			return
+		}
+		n.stats.Delivered++
+		dst.handler(pkt, from)
+	})
+}

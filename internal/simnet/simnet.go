@@ -2,11 +2,19 @@
 // the substrate for all coordinate-system experiments (the role p2psim plays
 // in the paper).
 //
-// The simulator owns a virtual clock and a binary-heap event queue. Events
-// scheduled for the same virtual instant fire in FIFO order of scheduling,
-// which makes whole runs bit-for-bit reproducible. The engine is
-// single-goroutine by design: coordinate-system simulations are CPU bound
-// and determinism matters more than parallelism here.
+// The simulator owns a virtual clock and a binary-heap event queue (Sim).
+// Events scheduled for the same virtual instant fire in FIFO order of
+// scheduling, which makes whole runs bit-for-bit reproducible. The engine
+// is single-goroutine by design: coordinate-system simulations are CPU
+// bound and determinism matters more than parallelism here.
+//
+// On top of the event queue, Network (net.go) provides a virtual datagram
+// fabric: integer-addressed Ports exchanging packets with per-pair one-way
+// delays and seeded fault injection — loss, duplication, reordering. It is
+// the virtual "UDP" the live engine backend (internal/engine, RunSpec
+// Backend "live") boots daemon nodes on, so registered attack scenarios
+// replay over real message exchange with every fault decision reproducible
+// from a seed.
 package simnet
 
 import (

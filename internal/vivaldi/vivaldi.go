@@ -95,6 +95,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Resolved returns the configuration with every zero field replaced by
+// its default — what a System or Node built from c actually runs. Callers
+// that must agree with a population on its geometry (the live engine
+// backend sizing its flat store) resolve first.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 // ProbeResponse is what a probing node learns from one measurement: the
 // probed node's reported coordinate and error estimate, and the RTT the
 // prober measured (which a malicious responder may have inflated by
@@ -193,6 +199,16 @@ func (n *Node) Update(resp ProbeResponse) {
 	applyRule(n.cfg, n.st, 0, &n.err, n.rng, resp, n.dir)
 }
 
+// SyncInto copies the node's coordinate into slot i of dst (which must
+// share the node's space) — the live engine backend's barrier readout,
+// allocation-free unlike Coord.
+func (n *Node) SyncInto(dst *coordspace.Store, i int) {
+	dst.CopySlotFrom(i, n.st, 0)
+}
+
+// Config returns the node's effective configuration (defaults resolved).
+func (n *Node) Config() Config { return n.cfg }
+
 // Tap is the probe-path interception point used by the attack framework.
 // When node `prober` measures the tap's owner, Respond receives the honest
 // response and returns what the prober actually observes. The system
@@ -265,21 +281,34 @@ func NewSystemSharded(m latency.Substrate, cfg Config, seed int64, sh Sharder) *
 	cfg = cfg.withDefaults()
 	n := m.Size()
 	s := &System{
-		cfg:       cfg,
-		m:         m,
-		store:     coordspace.NewStore(cfg.Space, n),
-		errs:      make([]float64, n),
-		neighbors: make([][]int, n),
-		taps:      make([]Tap, n),
-		rngs:      make([]*rand.Rand, n),
+		cfg:   cfg,
+		m:     m,
+		store: coordspace.NewStore(cfg.Space, n),
+		errs:  make([]float64, n),
+		taps:  make([]Tap, n),
+		rngs:  make([]*rand.Rand, n),
 	}
 	for i := 0; i < n; i++ {
 		s.rngs[i] = randx.NewDerived(seed, "vivaldi-node", i)
 		s.errs[i] = cfg.InitialError
 	}
+	s.neighbors = NeighborSets(m, cfg, seed, sh)
+	return s
+}
+
+// NeighborSets builds the paper's spring structure for every node of m —
+// per-node derived RNG streams, so the result is bit-identical for any
+// worker count — and is exactly what NewSystemSharded gives its
+// population. It is exported so the live engine backend can wire the same
+// neighbour graph over real message exchange: at a fixed seed, the
+// in-memory simulation and the live daemons probe the same springs.
+func NeighborSets(m latency.Substrate, cfg Config, seed int64, sh Sharder) [][]int {
+	cfg = cfg.withDefaults()
+	n := m.Size()
+	sets := make([][]int, n)
 	pick := func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			s.neighbors[i] = pickNeighbors(m, i, cfg, randx.NewDerived(seed, "vivaldi-neighbors", i))
+			sets[i] = pickNeighbors(m, i, cfg, randx.NewDerived(seed, "vivaldi-neighbors", i))
 		}
 	}
 	if sh == nil {
@@ -287,7 +316,7 @@ func NewSystemSharded(m latency.Substrate, cfg Config, seed int64, sh Sharder) *
 	} else {
 		sh.ForEach(n, pick)
 	}
-	return s
+	return sets
 }
 
 // neighborScanLimit is the population size above which spring selection

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# docs-check: the documentation gate run by `make docs-check` and the CI
+# docs job.
+#
+#   1. Every internal/* package (and the root package) must carry a godoc
+#      package comment, so `go doc` renders a one-paragraph contract for
+#      each.
+#   2. Every relative markdown link in README.md and docs/*.md must
+#      resolve to a file or directory in the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- package comments ---------------------------------------------------
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -qs "^// Package $pkg" "$dir"*.go; then
+        echo "docs-check: package $pkg has no '// Package $pkg ...' comment" >&2
+        fail=1
+    fi
+done
+if ! grep -qs "^// Package vna" vna.go; then
+    echo "docs-check: root package vna has no package comment" >&2
+    fail=1
+fi
+
+# --- markdown links -----------------------------------------------------
+# Extract [text](target) links, keep relative targets (skip http(s),
+# mailto and pure #anchors), strip any #fragment, and resolve against the
+# linking file's directory.
+for md in README.md docs/*.md; do
+    dir=$(dirname "$md")
+    # grep -o emits one match per line; sed strips down to the target.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "docs-check: $md links to missing file: $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs-check: FAILED" >&2
+    exit 1
+fi
+echo "docs-check: OK (package comments present, markdown links resolve)"
