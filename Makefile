@@ -43,6 +43,12 @@ bench:
 # that invariant permanently — a per-node or per-probe allocation at
 # 5000 nodes would show up as thousands.
 #
+# The live backend carries the same contract: the timing-wheel scheduler,
+# pooled packet buffers and DecodeInto make a steady live tick (1740
+# daemon nodes exchanging real wire-protocol packets) allocation-free per
+# packet, so BenchmarkLiveTick1740 gets the same 64 allocs/op ceiling —
+# one allocation per probe at 1740 nodes would show up as ~1700.
+#
 # bench-guard runs the relevant benchmark subset and checks it;
 # bench-check applies the check to an existing output file (the CI bench
 # job points it at bench.txt from the full `make bench` run, so the
@@ -50,7 +56,7 @@ bench:
 TICK_ALLOC_CEILING ?= 64
 BENCH_GUARD_FILE   ?= bench_guard.txt
 bench-guard:
-	go test -run '^$$' -bench 'BenchmarkTickSharded5k|BenchmarkRTTPairsPacked|BenchmarkRTTPairsDense|BenchmarkMeasure25kModel|BenchmarkSubstrate' \
+	go test -run '^$$' -bench 'BenchmarkTickSharded5k|BenchmarkLiveTick1740|BenchmarkRTTPairsPacked|BenchmarkRTTPairsDense|BenchmarkMeasure25kModel|BenchmarkSubstrate' \
 		-benchmem -benchtime 1x . | tee bench_guard.txt
 	@$(MAKE) --no-print-directory bench-check BENCH_GUARD_FILE=bench_guard.txt
 
@@ -59,4 +65,9 @@ bench-check:
 		if (allocs+0 > $(TICK_ALLOC_CEILING)) { \
 			printf "FAIL: steady-state sharded tick allocates %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs; exit 1 } \
 		else printf "OK: steady-state sharded tick %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs } \
-		END { if (!found) { print "FAIL: BenchmarkTickSharded5k missing from $(BENCH_GUARD_FILE)"; exit 1 } }' $(BENCH_GUARD_FILE)
+		/^BenchmarkLiveTick1740/ { lfound=1; allocs=$$(NF-1); \
+		if (allocs+0 > $(TICK_ALLOC_CEILING)) { \
+			printf "FAIL: steady-state live tick allocates %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs; exit 1 } \
+		else printf "OK: steady-state live tick %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs } \
+		END { if (!found) { print "FAIL: BenchmarkTickSharded5k missing from $(BENCH_GUARD_FILE)"; exit 1 } \
+		if (!lfound) { print "FAIL: BenchmarkLiveTick1740 missing from $(BENCH_GUARD_FILE)"; exit 1 } }' $(BENCH_GUARD_FILE)

@@ -73,8 +73,9 @@ type SimNode struct {
 	updates int
 	stop    func()
 
-	reqBuf  []byte // reused encoding buffers: steady-state probing
-	respBuf []byte // allocates only for in-flight packet copies
+	reqBuf  []byte                // reused encoding buffers: steady-state
+	respBuf []byte                // probing and responding allocate nothing
+	vecBuf  [wire.MaxDims]float64 // DecodeInto scratch for response vectors
 }
 
 // NewSimNode boots a daemon node on net, addressed by id, probing every
@@ -150,20 +151,24 @@ func (n *SimNode) sendProbe() {
 }
 
 func (n *SimNode) onPacket(pkt []byte, from int) {
-	msg, err := wire.Decode(pkt)
-	if err != nil {
+	// Decode into per-node scratch: the pooled pkt buffer and the decoded
+	// vector are both consumed before this handler returns.
+	var msg wire.Msg
+	if err := wire.DecodeInto(pkt, &msg, n.vecBuf[:0]); err != nil {
 		return // hostile or corrupt packet: drop silently
 	}
-	switch m := msg.(type) {
-	case wire.ProbeRequest:
-		n.handleRequest(m, from)
-	case wire.ProbeResponse:
-		n.handleResponse(m, from)
+	switch msg.Type {
+	case wire.TypeProbeRequest:
+		n.handleRequest(msg.Req, from)
+	case wire.TypeProbeResponse:
+		n.handleResponse(msg.Resp, from)
 	}
 }
 
 func (n *SimNode) handleRequest(req wire.ProbeRequest, from int) {
-	resp := honestResponse(req, n.vn.Coord(), n.vn.Error())
+	// The coordinate view aliases the node's own store: taps only read it,
+	// and AppendResponse copies it out before this function returns.
+	resp := honestResponse(req, n.vn.ViewCoord(), n.vn.Error())
 	var delay time.Duration
 	if n.forge != nil {
 		var forged wire.ProbeResponse
@@ -171,12 +176,10 @@ func (n *SimNode) handleRequest(req wire.ProbeRequest, from int) {
 		resp = clampForged(req, forged)
 	}
 	n.respBuf = wire.AppendResponse(n.respBuf[:0], resp)
-	if delay <= 0 {
-		n.port.Send(from, n.respBuf)
-		return
-	}
-	held := append([]byte(nil), n.respBuf...)
-	n.sim.After(delay, func() { n.port.Send(from, held) })
+	// SendAfter holds a pooled copy and draws the network faults at
+	// transmission time, so a delayed (RTT-inflating) forged response
+	// costs no allocation and keeps the fault-draw order of a real send.
+	n.port.SendAfter(delay, from, n.respBuf)
 }
 
 func (n *SimNode) handleResponse(resp wire.ProbeResponse, from int) {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/coordspace"
@@ -44,6 +45,14 @@ type liveSystem struct {
 	errs     []float64
 	tick     int
 	interval time.Duration
+
+	// Per-source one-way delay cache over the spring graph's edges,
+	// normalized to the lower endpoint (RTTs are symmetric). Built once at
+	// boot with batched RTTFrom row gathers; per-packet lookups replace
+	// re-hashing the O(1)-memory model substrate on every send. nil for
+	// table-backed substrates, whose RTT call is already a single load.
+	delayPeers [][]int32
+	delayVals  [][]time.Duration
 }
 
 // liveTickInterval is the virtual time one engine Step advances the live
@@ -86,30 +95,27 @@ func NewLiveNet(m latency.Substrate, cfg vivaldi.Config, seed int64, sh Sharder,
 	cfg = cfg.Resolved()
 	n := m.Size()
 	sim := simnet.New()
-	net := simnet.NewNetwork(sim, simnet.NetConfig{
-		// Half the RTT each way: a request/response exchange measures the
-		// substrate's full round-trip time.
-		Latency: func(from, to int) time.Duration {
-			return time.Duration(m.RTT(from, to) * float64(time.Millisecond) / 2)
-		},
-		Loss:         nc.Loss,
-		Duplicate:    nc.Duplicate,
-		Reorder:      nc.Reorder,
-		ReorderDelay: nc.ReorderDelay,
-		Seed:         seed,
-	})
 	ls := &liveSystem{
 		cfg:      cfg,
 		m:        m,
 		sim:      sim,
-		net:      net,
 		nodes:    make([]*daemon.SimNode, n),
 		taps:     make([]vivaldi.Tap, n),
 		store:    coordspace.NewStore(cfg.Space, n),
 		errs:     make([]float64, n),
 		interval: liveTickInterval,
 	}
+	net := simnet.NewNetwork(sim, simnet.NetConfig{
+		Latency:      ls.oneWayDelay,
+		Loss:         nc.Loss,
+		Duplicate:    nc.Duplicate,
+		Reorder:      nc.Reorder,
+		ReorderDelay: nc.ReorderDelay,
+		Seed:         seed,
+	})
+	ls.net = net
 	neighbors := vivaldi.NeighborSets(m, cfg, seed, sh)
+	ls.buildDelayCache(neighbors)
 	for i := 0; i < n; i++ {
 		ls.nodes[i] = daemon.NewSimNode(sim, net, i, daemon.SimConfig{
 			Vivaldi:       cfg,
@@ -121,6 +127,70 @@ func NewLiveNet(m latency.Substrate, cfg vivaldi.Config, seed int64, sh Sharder,
 		ls.errs[i] = cfg.InitialError
 	}
 	return ls
+}
+
+// oneWayDelay is the network's Latency hook: half the substrate RTT each
+// way, so a request/response exchange measures the full round-trip time.
+// Spring-graph edges hit the boot-time cache; anything else (none in a
+// registered run) falls through to the substrate.
+func (ls *liveSystem) oneWayDelay(from, to int) time.Duration {
+	if ls.delayPeers != nil {
+		lo, hi := from, to
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		row := ls.delayPeers[lo]
+		if k, ok := slices.BinarySearch(row, int32(hi)); ok {
+			return ls.delayVals[lo][k]
+		}
+	}
+	return time.Duration(ls.m.RTT(from, to) * float64(time.Millisecond) / 2)
+}
+
+// buildDelayCache gathers the one-way delay for every spring-graph edge
+// with batched RTTFrom rows. Only the hash-recomputing model substrate is
+// worth fronting — a table-backed RTT is already a single indexed load.
+// Cached values are computed with the exact expression oneWayDelay's
+// fallback uses, so caching cannot perturb a run.
+func (ls *liveSystem) buildDelayCache(neighbors [][]int) {
+	if _, ok := ls.m.(*latency.Model); !ok {
+		return
+	}
+	n := ls.m.Size()
+	peers := make([][]int32, n)
+	for i, ns := range neighbors {
+		for _, p := range ns {
+			lo, hi := i, p
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			if lo != hi {
+				peers[lo] = append(peers[lo], int32(hi))
+			}
+		}
+	}
+	vals := make([][]time.Duration, n)
+	var dsts []int
+	var rtts []float64
+	for lo, row := range peers {
+		if len(row) == 0 {
+			continue
+		}
+		slices.Sort(row)
+		row = slices.Compact(row) // i↔p edges are usually listed twice
+		dsts = dsts[:0]
+		for _, hi := range row {
+			dsts = append(dsts, int(hi))
+		}
+		rtts = slices.Grow(rtts[:0], len(dsts))[:len(dsts)]
+		ls.m.RTTFrom(lo, dsts, rtts)
+		v := make([]time.Duration, len(row))
+		for k, r := range rtts {
+			v[k] = time.Duration(r * float64(time.Millisecond) / 2)
+		}
+		peers[lo], vals[lo] = row, v
+	}
+	ls.delayPeers, ls.delayVals = peers, vals
 }
 
 func (ls *liveSystem) Kind() SystemKind             { return SystemVivaldi }

@@ -34,7 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 	if _, ok := Get("fig17"); ok {
 		t.Error("fig17 is a diagram, not an experiment — must not be registered")
 	}
-	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k", "attack25k", "live1740", "liveAttack"}
+	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k", "attack25k", "live1740", "liveAttack", "live5k", "live25k"}
 	for _, ext := range extras {
 		if _, ok := Get(ext); !ok {
 			t.Errorf("extension experiment %s not registered", ext)
@@ -264,6 +264,56 @@ func TestAttack25kDegrades(t *testing.T) {
 		if !(last > 1.05) {
 			t.Errorf("series %q: final error ratio %.3f, want > 1.05 (attack must degrade accuracy)", s.Label, last)
 		}
+	}
+}
+
+// TestLiveDeterminism25kAcrossWorkers runs the live25k scenario — 25 000
+// daemon nodes exchanging wire-protocol packets over the virtual UDP
+// network, one-way delays answered by the model substrate through the
+// adapter's gather cache — and asserts the workers-1-vs-8 bit-identity
+// contract over real message exchange at that scale. The entire live run
+// executes on the single-threaded virtual clock regardless of the worker
+// count, so the contract covers the parallel measurement/reduction path
+// around it. The same run must show fig09-style degradation: the target's
+// error ratio ends above the clean reference once the colluders' forged
+// replies (realized as actual response delays) land.
+func TestLiveDeterminism25kAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("25k-node live-backend run")
+	}
+	// The colluders' lies are realized as actual response delays of tens
+	// of virtual seconds (~17 ticks), so unlike the in-memory attack25k
+	// probe the attack phase must outlast that in-flight lag by enough
+	// ticks for the repel updates to accumulate.
+	p := det25kPreset
+	p.VivaldiConvergeTicks = 30
+	p.VivaldiAttackTicks = 105
+	p.MeasureEvery = 35
+	one, err := RunWith("live25k", p, 1)
+	if err != nil {
+		t.Fatalf("live25k workers=1: %v", err)
+	}
+	eight, err := RunWith("live25k", p, 8)
+	if err != nil {
+		t.Fatalf("live25k workers=8: %v", err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Error("live25k: results differ between 1 and 8 workers")
+	}
+	if len(one.Series) != 1 {
+		t.Fatalf("live25k series %d, want 1", len(one.Series))
+	}
+	s := one.Series[0]
+	if len(s.Y) == 0 {
+		t.Fatal("live25k produced no samples")
+	}
+	for k, y := range s.Y {
+		if math.IsNaN(y) {
+			t.Fatalf("series %q: NaN at sample %d", s.Label, k)
+		}
+	}
+	if last := s.Y[len(s.Y)-1]; !(last > 1.05) {
+		t.Errorf("live25k final error ratio %.3f, want > 1.05 (attack must degrade accuracy over live UDP)", last)
 	}
 }
 

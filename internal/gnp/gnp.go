@@ -107,51 +107,56 @@ func positionHost(obj func([]float64) float64, space coordspace.Space, anchors [
 // largest median RTT footprint, each subsequent one maximizes the minimum
 // RTT to the landmarks chosen so far. This mirrors the paper's requirement
 // of 20 well separated permanent landmarks (§5.2).
+// Rows are gathered with the substrate's batched RTTFrom into reused
+// buffers — per-element RTT interface calls made the footprint pass O(n²)
+// dispatches, which is what kept NPS construction from reaching the 25k
+// model-substrate populations. The summation order matches the old
+// per-element loop exactly, so the selected landmark set is unchanged.
 func SelectLandmarks(m latency.Substrate, k int) []int {
 	n := m.Size()
 	if k > n {
 		panic("gnp: more landmarks than nodes")
 	}
+	dsts := make([]int, n)
+	for j := range dsts {
+		dsts[j] = j
+	}
+	row := make([]float64, n)
 	// Start from the node with the largest total RTT (an extreme point).
 	first, best := 0, -1.0
 	for i := 0; i < n; i++ {
+		m.RTTFrom(i, dsts, row)
 		sum := 0.0
-		for j := 0; j < n; j++ {
-			sum += m.RTT(i, j)
+		for _, d := range row {
+			sum += d
 		}
 		if sum > best {
 			best, first = sum, i
 		}
 	}
-	chosen := []int{first}
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, first)
+	inChosen := make([]bool, n)
+	inChosen[first] = true
 	minDist := make([]float64, n)
-	for j := range minDist {
-		minDist[j] = m.RTT(first, j)
-	}
+	m.RTTFrom(first, dsts, minDist)
 	for len(chosen) < k {
 		next, far := -1, -1.0
 		for j := 0; j < n; j++ {
-			if minDist[j] > far && !contains(chosen, j) {
+			if minDist[j] > far && !inChosen[j] {
 				far, next = minDist[j], j
 			}
 		}
 		chosen = append(chosen, next)
-		for j := 0; j < n; j++ {
-			if d := m.RTT(next, j); d < minDist[j] {
+		inChosen[next] = true
+		m.RTTFrom(next, dsts, row)
+		for j, d := range row {
+			if d < minDist[j] {
 				minDist[j] = d
 			}
 		}
 	}
 	return chosen
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 // SolveLandmarks embeds the landmark set: rounds of coordinate descent in

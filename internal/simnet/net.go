@@ -14,6 +14,11 @@ import (
 // It is the virtual "UDP" the live engine backend boots daemon nodes on:
 // every delivery is an event on the owning Sim, so whole message-level
 // runs — including faults — are bit-for-bit reproducible from a seed.
+//
+// Payload buffers are pooled. Ownership rule: a packet slice belongs to a
+// handler only for the duration of the call — the network reclaims it when
+// the handler returns (release-on-return); handlers that keep payload
+// bytes must copy them (copy-to-retain).
 
 // NetConfig configures a Network. The zero value is a perfect network:
 // zero delay, no loss, no duplication, no reordering.
@@ -72,6 +77,62 @@ type NetStats struct {
 	Reordered  int // packets held for ReorderDelay
 }
 
+// Buffer pool geometry: power-of-two size classes from 32 B to 1 KiB. The
+// wire protocol's largest packet (a 32-dimension probe response) is 289
+// bytes, so live traffic fits the first four classes; oversized payloads
+// fall back to the garbage collector.
+const (
+	minClass   = 32
+	numClasses = 6 // 32, 64, 128, 256, 512, 1024
+	maxClass   = minClass << (numClasses - 1)
+)
+
+// bufPool recycles packet payload buffers by size class. It is
+// single-goroutine like the Sim that drives it, so free lists are plain
+// slices with no locking.
+type bufPool struct {
+	classes [numClasses][][]byte
+}
+
+// classFor maps a payload size to its class index, or -1 when it exceeds
+// the largest class.
+func classFor(n int) int {
+	size := minClass
+	for c := 0; c < numClasses; c++ {
+		if n <= size {
+			return c
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+func (p *bufPool) get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	fl := p.classes[c]
+	if len(fl) == 0 {
+		return make([]byte, n, minClass<<c)
+	}
+	b := fl[len(fl)-1]
+	fl[len(fl)-1] = nil
+	p.classes[c] = fl[:len(fl)-1]
+	return b[:n]
+}
+
+// put returns a buffer to its class's free list. Buffers whose capacity is
+// not exactly a pool class (oversized fallbacks, foreign slices) are left
+// to the garbage collector.
+func (p *bufPool) put(b []byte) {
+	c := classFor(cap(b))
+	if c < 0 || minClass<<c != cap(b) {
+		return
+	}
+	p.classes[c] = append(p.classes[c], b[:0])
+}
+
 // Network is a virtual datagram fabric over one Sim. It is not safe for
 // concurrent use; like the Sim itself it belongs to the single simulation
 // goroutine.
@@ -81,6 +142,7 @@ type Network struct {
 	rng   *rand.Rand
 	ports map[int]*Port
 	stats NetStats
+	pool  bufPool
 }
 
 // NewNetwork returns an empty network whose deliveries are scheduled on
@@ -107,7 +169,9 @@ type Port struct {
 }
 
 // Open binds a port on node id. The handler runs as a simulation event for
-// every delivered packet; the pkt slice is owned by the handler. Opening a
+// every delivered packet; the pkt slice is valid only for the duration of
+// the call — the network reclaims it into the buffer pool when the handler
+// returns, so handlers must copy any payload bytes they retain. Opening a
 // bound id or passing a nil handler panics — both are programming errors
 // in deterministic test setups.
 func (n *Network) Open(id int, handler func(pkt []byte, from int)) *Port {
@@ -136,9 +200,10 @@ func (p *Port) Close() {
 }
 
 // Send transmits pkt to the port bound on node `to`, applying the
-// network's latency and fault model. The payload is copied, so callers may
-// reuse their buffer immediately. Sending to an unbound id is not an
-// error — the packet is silently dropped at delivery, like real UDP.
+// network's latency and fault model. The payload is copied into a pooled
+// buffer, so callers may reuse their own immediately. Sending to an
+// unbound id is not an error — the packet is silently dropped at delivery,
+// like real UDP.
 func (p *Port) Send(to int, pkt []byte) {
 	if p.closed {
 		return
@@ -160,22 +225,70 @@ func (p *Port) Send(to int, pkt []byte) {
 		n.stats.Reordered++
 		delay += n.cfg.ReorderDelay
 	}
-	buf := append([]byte(nil), pkt...)
-	n.deliver(p.id, to, buf, delay)
+	n.deliver(p.id, to, pkt, delay)
 	if randx.Bernoulli(n.rng, n.cfg.Duplicate) {
 		n.stats.Duplicated++
-		dup := append([]byte(nil), buf...)
-		n.deliver(p.id, to, dup, delay+n.cfg.DuplicateDelay)
+		n.deliver(p.id, to, pkt, delay+n.cfg.DuplicateDelay)
 	}
 }
 
+// SendAfter holds pkt for delay of virtual time, then transmits it exactly
+// as if the caller had called Send at that instant: latency and fault
+// draws happen at transmission time, in event order. The payload is copied
+// immediately, so callers may reuse their buffer. It is the allocation-free
+// replacement for scheduling a closure over a copied packet — the daemon's
+// delayed (RTT-inflating) forged responses ride on it.
+func (p *Port) SendAfter(delay time.Duration, to int, pkt []byte) {
+	if p.closed {
+		return
+	}
+	if delay <= 0 {
+		p.Send(to, pkt)
+		return
+	}
+	n := p.net
+	buf := n.pool.get(len(pkt))
+	copy(buf, pkt)
+	idx := n.sim.allocRecord()
+	r := &n.sim.slab[idx]
+	r.kind = evSend
+	r.net = n
+	r.from, r.to = int32(p.id), int32(to)
+	r.buf = buf
+	n.sim.enqueue(n.sim.now+delay, idx)
+}
+
+// deliver copies pkt into a pooled buffer and schedules its arrival as a
+// typed event — no closure, no per-packet allocation in steady state.
 func (n *Network) deliver(from, to int, pkt []byte, delay time.Duration) {
-	n.sim.After(delay, func() {
-		dst, ok := n.ports[to]
-		if !ok || dst.closed {
-			return
-		}
+	buf := n.pool.get(len(pkt))
+	copy(buf, pkt)
+	idx := n.sim.allocRecord()
+	r := &n.sim.slab[idx]
+	r.kind = evDeliver
+	r.net = n
+	r.from, r.to = int32(from), int32(to)
+	r.buf = buf
+	n.sim.enqueue(n.sim.now+delay, idx)
+}
+
+// completeDelivery is the evDeliver payoff: hand the payload to the bound
+// handler (if any), then reclaim the buffer — the handler owns pkt only
+// until it returns.
+func (n *Network) completeDelivery(from, to int, buf []byte) {
+	if dst, ok := n.ports[to]; ok && !dst.closed {
 		n.stats.Delivered++
-		dst.handler(pkt, from)
-	})
+		dst.handler(buf, from)
+	}
+	n.pool.put(buf)
+}
+
+// completeSend is the evSend payoff: transmit the held payload from the
+// (still bound) source port, then reclaim the hold buffer. Send makes its
+// own pooled copies, so reclaiming here is safe.
+func (n *Network) completeSend(from, to int, buf []byte) {
+	if src, ok := n.ports[from]; ok {
+		src.Send(to, buf)
+	}
+	n.pool.put(buf)
 }

@@ -191,6 +191,92 @@ func TestNetworkFaultDeterminism(t *testing.T) {
 	}
 }
 
+// TestBufferPoolPayloadIntegrity is the pooled-buffer safety property:
+// under loss, duplication and reordering churn — with handlers sending
+// replies mid-delivery, so buffers recycle while others are in flight —
+// every delivered payload must still be exactly the bytes its sender
+// wrote. A pool bug (a buffer reused while still scheduled, a duplicate
+// sharing its original's storage) shows up as a corrupted pattern.
+func TestBufferPoolPayloadIntegrity(t *testing.T) {
+	sim := New()
+	net := NewNetwork(sim, NetConfig{
+		Latency: func(from, to int) time.Duration {
+			return time.Duration(1+(from*31+to*7)%23) * time.Millisecond
+		},
+		Loss:      0.15,
+		Duplicate: 0.25,
+		Reorder:   0.25,
+		Seed:      11,
+	})
+
+	const nodes = 10
+	const rounds = 80
+	// Payload: [kind, from, seq, sizeLo, sizeHi] header then a
+	// deterministic byte pattern. Sizes sweep through every pool class and
+	// past the largest (oversized packets take the GC fallback path).
+	pattern := func(from, seq, k int) byte { return byte(from*131 + seq*29 + k*17) }
+	build := func(buf []byte, kind, from, seq, size int) []byte {
+		buf = append(buf[:0], byte(kind), byte(from), byte(seq), byte(size), byte(size>>8))
+		for k := 0; k < size; k++ {
+			buf = append(buf, pattern(from, seq, k))
+		}
+		return buf
+	}
+	delivered := 0
+	ports := make([]*Port, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		scratch := make([]byte, 0, 1200)
+		ports[i] = net.Open(i, func(pkt []byte, from int) {
+			if len(pkt) < 5 {
+				t.Fatalf("truncated packet: %v", pkt)
+			}
+			kind, src, seq := int(pkt[0]), int(pkt[1]), int(pkt[2])
+			size := int(pkt[3]) | int(pkt[4])<<8
+			if src != from || len(pkt) != 5+size {
+				t.Fatalf("header mismatch: from=%d pkt=%v", from, pkt[:5])
+			}
+			for k := 0; k < size; k++ {
+				if pkt[5+k] != pattern(src, seq, k) {
+					t.Fatalf("payload corrupted at byte %d: packet (kind %d) from %d seq %d",
+						k, kind, src, seq)
+				}
+			}
+			delivered++
+			if kind == 0 {
+				// Reply from inside the handler: recycles pool buffers
+				// while the just-delivered one is still alive.
+				scratch = build(scratch, 1, i, seq, (seq*37+i)%200)
+				ports[i].Send(from, scratch)
+			}
+		})
+	}
+
+	sizes := []int{0, 1, 27, 28, 60, 124, 252, 508, 600, 1020, 1100}
+	for r := 0; r < rounds; r++ {
+		r := r
+		sim.At(time.Duration(r)*500*time.Microsecond, func() {
+			from := r % nodes
+			to := (r*3 + 1) % nodes
+			if to == from {
+				to = (to + 1) % nodes
+			}
+			size := sizes[r%len(sizes)]
+			pkt := build(nil, 0, from, r%251, size)
+			ports[from].Send(to, pkt)
+		})
+	}
+	sim.Run()
+
+	st := net.Stats()
+	if delivered == 0 || st.Duplicated == 0 || st.Reordered == 0 || st.Dropped == 0 {
+		t.Fatalf("fault churn degenerate (delivered %d): %+v", delivered, st)
+	}
+	if delivered != st.Delivered {
+		t.Fatalf("delivered %d but stats say %d", delivered, st.Delivered)
+	}
+}
+
 func TestNetworkClosedPortDropsTraffic(t *testing.T) {
 	sim := New()
 	net := NewNetwork(sim, NetConfig{Latency: func(int, int) time.Duration { return time.Millisecond }})

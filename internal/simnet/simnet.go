@@ -2,11 +2,14 @@
 // the substrate for all coordinate-system experiments (the role p2psim plays
 // in the paper).
 //
-// The simulator owns a virtual clock and a binary-heap event queue (Sim).
-// Events scheduled for the same virtual instant fire in FIFO order of
-// scheduling, which makes whole runs bit-for-bit reproducible. The engine
-// is single-goroutine by design: coordinate-system simulations are CPU
-// bound and determinism matters more than parallelism here.
+// The simulator owns a virtual clock and a hierarchical timing-wheel event
+// queue (Sim) backed by a slab of typed event records on a free list, so
+// steady-state scheduling allocates nothing. Events scheduled for the same
+// virtual instant fire in FIFO order of scheduling — the same (time, seq)
+// ordering contract the original binary-heap queue had — which makes whole
+// runs bit-for-bit reproducible. The engine is single-goroutine by design:
+// coordinate-system simulations are CPU bound and determinism matters more
+// than parallelism here.
 //
 // On top of the event queue, Network (net.go) provides a virtual datagram
 // fabric: integer-addressed Ports exchanging packets with per-pair one-way
@@ -18,7 +21,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -26,78 +28,336 @@ import (
 // Event is a callback executed at a virtual instant.
 type Event func()
 
-// Timer identifies a scheduled event so it can be cancelled.
-type Timer struct {
-	item *eventItem
-}
+// Scheduler geometry. Level 0 is a 4096-slot wheel of ~1.05 ms slots
+// (~4.3 s horizon); level 1 is a 1024-slot wheel of ~4.3 s slots (~73 min
+// horizon). Events beyond that sit in a small overflow heap and are pulled
+// back as the cursor approaches. The live engine's longest timers — forged
+// response delays of a few hundred virtual seconds — land in level 1.
+const (
+	slotBits0  = 20                     // level-0 slot width: 2^20 ns ≈ 1.05 ms
+	wheelBits0 = 12                     // 4096 level-0 slots
+	slotBits1  = slotBits0 + wheelBits0 // level-1 slot width: 2^32 ns ≈ 4.29 s
+	wheelBits1 = 10                     // 1024 level-1 slots
+	numSlots0  = 1 << wheelBits0
+	numSlots1  = 1 << wheelBits1
+	mask0      = numSlots0 - 1
+	mask1      = numSlots1 - 1
+)
 
-// Stop cancels the timer. It reports whether the event was still pending
-// (i.e. had not fired and had not already been stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
-		return false
-	}
-	t.item.cancelled = true
-	return true
-}
+// noIdx is the nil value for slab indices (free-list ends, empty slots).
+const noIdx = int32(-1)
 
-type eventItem struct {
+type evKind uint8
+
+const (
+	evFunc    evKind = iota // run a closure (At/After)
+	evTick                  // fire a ticker and re-arm it
+	evDeliver               // deliver a pooled packet buffer to a port
+	evSend                  // transmit a held packet (delayed send)
+)
+
+// record is one scheduled event in the slab. Typed kinds exist so the hot
+// per-packet paths (deliveries, delayed sends, ticker fires) schedule
+// without allocating a closure; evFunc keeps the general API.
+type record struct {
 	at        time.Duration
-	seq       uint64
-	fn        Event
+	seq       uint64 // FIFO tiebreak; 0 only while free (Timer safety)
+	next      int32  // free-list / slot-chain link
+	kind      evKind
 	cancelled bool
-	fired     bool
-	index     int // heap index
+
+	fn       Event    // evFunc
+	net      *Network // evDeliver, evSend
+	buf      []byte   // evDeliver, evSend: pooled payload
+	from, to int32    // evDeliver, evSend
+	tick     int32    // evTick: index into Sim.tickers
 }
 
-type eventHeap []*eventItem
+// tickerState is the persistent state behind one Ticker registration; the
+// pending evTick record points at it, so re-arming schedules no closures.
+type tickerState struct {
+	interval time.Duration
+	fn       func(tick int) bool
+	tick     int
+	stopped  bool
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*eventItem)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
-}
+// slotList is an intrusive FIFO chain of records hashed to one wheel slot.
+type slotList struct{ head, tail int32 }
 
 // Sim is a discrete-event simulation. The zero value is not usable; use New.
 type Sim struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventHeap
 	stopped bool
+
+	slab []record
+	free int32 // record free-list head
+
+	live   int // scheduled events that are neither fired nor cancelled
+	queued int // records still held by the queue, including cancelled ones
+
+	// cursor is the absolute level-0 slot index whose events have been
+	// drained into the active heap. Records due in slots <= cursor go
+	// straight to the heap, so the (time, seq) order is exact even when a
+	// slot mixes instants.
+	cursor   int64
+	count0   int // records currently chained in slots0
+	count1   int // records currently chained in slots1
+	active   []int32
+	overflow []int32 // beyond the level-1 horizon, min-heap by (at, seq)
+	slots0   [numSlots0]slotList
+	slots1   [numSlots1]slotList
+
+	tickers []tickerState
 }
 
 // New returns an empty simulation with the clock at zero.
 func New() *Sim {
-	return &Sim{}
+	s := &Sim{free: noIdx}
+	for i := range s.slots0 {
+		s.slots0[i] = slotList{head: noIdx, tail: noIdx}
+	}
+	for i := range s.slots1 {
+		s.slots1[i] = slotList{head: noIdx, tail: noIdx}
+	}
+	return s
 }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been discarded).
-func (s *Sim) Pending() int { return len(s.queue) }
+// Pending returns the number of events scheduled to fire: cancelled events
+// are excluded the moment Timer.Stop succeeds, even though their queue
+// slots are reclaimed lazily.
+func (s *Sim) Pending() int { return s.live }
+
+// Timer identifies a scheduled event so it can be cancelled. The (idx, seq)
+// pair stays valid across slab reuse: a recycled record carries a new
+// sequence number, so a stale Timer can never cancel someone else's event.
+type Timer struct {
+	sim *Sim
+	idx int32
+	seq uint64
+}
+
+// Stop cancels the timer. It reports whether the event was still pending
+// (i.e. had not fired and had not already been stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.sim == nil {
+		return false
+	}
+	r := &t.sim.slab[t.idx]
+	if r.seq != t.seq || r.cancelled {
+		return false
+	}
+	r.cancelled = true
+	t.sim.live--
+	return true
+}
+
+// allocRecord takes a record off the free list, growing the slab only when
+// the simulation has never had this many events in flight at once.
+func (s *Sim) allocRecord() int32 {
+	if s.free != noIdx {
+		idx := s.free
+		s.free = s.slab[idx].next
+		return idx
+	}
+	s.slab = append(s.slab, record{})
+	return int32(len(s.slab) - 1)
+}
+
+// freeRecord zeroes the record (dropping closure and buffer references for
+// the GC, and zeroing seq so stale Timers mismatch) and returns it to the
+// free list.
+func (s *Sim) freeRecord(idx int32) {
+	s.slab[idx] = record{next: s.free}
+	s.free = idx
+}
+
+// enqueue stamps the record with its firing instant and the next FIFO
+// sequence number, then files it in the wheel hierarchy.
+func (s *Sim) enqueue(at time.Duration, idx int32) {
+	s.seq++ // pre-increment: a live record's seq is never 0
+	r := &s.slab[idx]
+	r.at = at
+	r.seq = s.seq
+	s.live++
+	s.queued++
+	s.place(idx)
+}
+
+// place files a stamped record by its due slot: already-reached slots go
+// straight to the active heap, near-future ones to level 0, further ones to
+// level 1, and anything beyond the level-1 horizon to the overflow heap.
+func (s *Sim) place(idx int32) {
+	at := s.slab[idx].at
+	s0 := int64(at) >> slotBits0
+	switch {
+	case s0 <= s.cursor:
+		s.heapPush(&s.active, idx)
+	case s0-s.cursor < numSlots0:
+		s.pushSlot(&s.slots0[s0&mask0], idx)
+		s.count0++
+	default:
+		s1 := int64(at) >> slotBits1
+		if s1-(s.cursor>>wheelBits0) < numSlots1 {
+			s.pushSlot(&s.slots1[s1&mask1], idx)
+			s.count1++
+		} else {
+			s.heapPush(&s.overflow, idx)
+		}
+	}
+}
+
+func (s *Sim) pushSlot(sl *slotList, idx int32) {
+	s.slab[idx].next = noIdx
+	if sl.tail == noIdx {
+		sl.head, sl.tail = idx, idx
+		return
+	}
+	s.slab[sl.tail].next = idx
+	sl.tail = idx
+}
+
+// less orders slab records by (time, scheduling sequence) — the FIFO
+// contract for same-instant events.
+func (s *Sim) less(a, b int32) bool {
+	ra, rb := &s.slab[a], &s.slab[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+func (s *Sim) heapPush(h *[]int32, idx int32) {
+	hs := append(*h, idx)
+	i := len(hs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(hs[i], hs[p]) {
+			break
+		}
+		hs[i], hs[p] = hs[p], hs[i]
+		i = p
+	}
+	*h = hs
+}
+
+func (s *Sim) heapPop(h *[]int32) int32 {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs = hs[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.less(hs[r], hs[l]) {
+			c = r
+		}
+		if !s.less(hs[c], hs[i]) {
+			break
+		}
+		hs[i], hs[c] = hs[c], hs[i]
+		i = c
+	}
+	*h = hs
+	return top
+}
+
+// nextIdx exposes the earliest pending record, advancing the cursor and
+// draining wheel slots into the active heap as needed. Cancelled records
+// surfacing at the top are discarded and recycled here.
+func (s *Sim) nextIdx() (int32, bool) {
+	for {
+		for len(s.active) > 0 {
+			top := s.active[0]
+			if !s.slab[top].cancelled {
+				return top, true
+			}
+			s.heapPop(&s.active)
+			s.queued--
+			s.freeRecord(top)
+		}
+		if !s.advance() {
+			return 0, false
+		}
+	}
+}
+
+// advance moves the cursor forward until some record lands in the active
+// heap, cascading the level-1 slot and pulling due overflow records at
+// every level-1 boundary. Empty stretches are skipped using the per-level
+// occupancy counts rather than walked slot by slot. Returns false when
+// nothing is queued anywhere.
+func (s *Sim) advance() bool {
+	if s.queued == 0 {
+		return false
+	}
+	for {
+		if s.count0 == 0 {
+			// Nothing on level 0: only a boundary cascade or an overflow
+			// pull can produce work, so jump to the next boundary.
+			next := (s.cursor | mask0) + 1
+			if s.count1 == 0 {
+				// Only overflow remains (the active heap is empty here, so
+				// queued > 0 guarantees it): jump to the boundary where its
+				// earliest record enters the level-1 horizon.
+				s1 := int64(s.slab[s.overflow[0]].at) >> slotBits1
+				if pull := (s1 - numSlots1 + 1) << wheelBits0; pull > next {
+					next = pull
+				}
+			}
+			s.cursor = next
+		} else {
+			s.cursor++
+		}
+		if s.cursor&mask0 == 0 {
+			s.cascade(s.cursor >> wheelBits0)
+		}
+		if sl := &s.slots0[s.cursor&mask0]; sl.head != noIdx {
+			for idx := sl.head; idx != noIdx; {
+				next := s.slab[idx].next
+				s.count0--
+				s.heapPush(&s.active, idx)
+				idx = next
+			}
+			sl.head, sl.tail = noIdx, noIdx
+		}
+		if len(s.active) > 0 {
+			return true
+		}
+	}
+}
+
+// cascade runs when the cursor crosses into level-1 slot tick1: overflow
+// records now inside the level-1 horizon are pulled back, and the records
+// parked in that slot are re-filed onto level 0 (or straight to the active
+// heap when due in the boundary slot itself).
+func (s *Sim) cascade(tick1 int64) {
+	for len(s.overflow) > 0 {
+		top := s.overflow[0]
+		if int64(s.slab[top].at)>>slotBits1-tick1 >= numSlots1 {
+			break
+		}
+		s.heapPop(&s.overflow)
+		s.place(top)
+	}
+	sl := &s.slots1[tick1&mask1]
+	for idx := sl.head; idx != noIdx; {
+		next := s.slab[idx].next
+		s.count1--
+		s.place(idx)
+		idx = next
+	}
+	sl.head, sl.tail = noIdx, noIdx
+}
 
 // At schedules fn at the absolute virtual time at. Scheduling in the past
 // panics: such an event would silently reorder causality.
@@ -108,10 +368,12 @@ func (s *Sim) At(at time.Duration, fn Event) *Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", at, s.now))
 	}
-	it := &eventItem{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, it)
-	return &Timer{item: it}
+	idx := s.allocRecord()
+	r := &s.slab[idx]
+	r.kind = evFunc
+	r.fn = fn
+	s.enqueue(at, idx)
+	return &Timer{sim: s, idx: idx, seq: s.slab[idx].seq}
 }
 
 // After schedules fn d after the current virtual time. Negative d panics.
@@ -129,17 +391,32 @@ func (s *Sim) Stop() { s.stopped = true }
 // Step executes the single next pending event, advancing the clock to its
 // instant. It reports whether an event was executed.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		it := heap.Pop(&s.queue).(*eventItem)
-		if it.cancelled {
-			continue
-		}
-		s.now = it.at
-		it.fired = true
-		it.fn()
-		return true
+	idx, ok := s.nextIdx()
+	if !ok {
+		return false
 	}
-	return false
+	s.heapPop(&s.active)
+	r := &s.slab[idx]
+	s.now = r.at
+	s.live--
+	s.queued--
+	// Copy out before recycling: the callback may schedule, growing the
+	// slab and invalidating r, and recycling first keeps the record
+	// available for events the callback creates.
+	kind, fn, net, buf := r.kind, r.fn, r.net, r.buf
+	from, to, tick := int(r.from), int(r.to), r.tick
+	s.freeRecord(idx)
+	switch kind {
+	case evFunc:
+		fn()
+	case evTick:
+		s.fireTicker(tick)
+	case evDeliver:
+		net.completeDelivery(from, to, buf)
+	case evSend:
+		net.completeSend(from, to, buf)
+	}
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -167,37 +444,45 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 
 // peek returns the time of the next non-cancelled event.
 func (s *Sim) peek() (time.Duration, bool) {
-	for len(s.queue) > 0 {
-		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return s.queue[0].at, true
+	idx, ok := s.nextIdx()
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return s.slab[idx].at, true
 }
 
 // Ticker invokes fn(tick) every interval of virtual time, starting one
 // interval from now, until the returned stop function is called or fn
-// returns false. The tick argument counts from 1.
+// returns false. The tick argument counts from 1. Re-arming reuses the
+// ticker's slab record kind, so a steady ticker allocates nothing per fire.
 func (s *Sim) Ticker(interval time.Duration, fn func(tick int) bool) (stop func()) {
 	if interval <= 0 {
 		panic("simnet: non-positive ticker interval")
 	}
-	stopped := false
-	tick := 0
-	var schedule func()
-	schedule = func() {
-		s.After(interval, func() {
-			if stopped {
-				return
-			}
-			tick++
-			if fn(tick) {
-				schedule()
-			}
-		})
+	ti := int32(len(s.tickers))
+	s.tickers = append(s.tickers, tickerState{interval: interval, fn: fn})
+	s.scheduleTick(ti)
+	return func() { s.tickers[ti].stopped = true }
+}
+
+func (s *Sim) scheduleTick(ti int32) {
+	idx := s.allocRecord()
+	r := &s.slab[idx]
+	r.kind = evTick
+	r.tick = ti
+	s.enqueue(s.now+s.tickers[ti].interval, idx)
+}
+
+// fireTicker runs one ticker fire. Matching the historical closure-based
+// Ticker exactly: a stopped ticker's in-flight event is a no-op, and the
+// re-arm is scheduled after fn returns (so events fn schedules order ahead
+// of the next tick).
+func (s *Sim) fireTicker(ti int32) {
+	if s.tickers[ti].stopped {
+		return
 	}
-	schedule()
-	return func() { stopped = true }
+	s.tickers[ti].tick++
+	if s.tickers[ti].fn(s.tickers[ti].tick) {
+		s.scheduleTick(ti)
+	}
 }

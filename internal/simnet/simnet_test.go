@@ -1,6 +1,8 @@
 package simnet
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -215,6 +217,189 @@ func TestPendingCount(t *testing.T) {
 	s.Run()
 	if s.Pending() != 0 {
 		t.Fatalf("pending %d after Run, want 0", s.Pending())
+	}
+}
+
+// TestPendingExcludesCancelled pins the fix for the old queue's documented
+// oddity: a successfully stopped timer leaves Pending immediately, even
+// though its queue slot is reclaimed lazily.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := New()
+	timer := s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", s.Pending())
+	}
+	if !timer.Stop() {
+		t.Fatal("Stop failed on a pending timer")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d after Stop, want 1 (cancelled event still counted)", s.Pending())
+	}
+	timer.Stop() // double-stop must not decrement again
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d after double Stop, want 1", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after Run, want 0", s.Pending())
+	}
+}
+
+// refEvent / refQueue are a tiny reference scheduler — the old binary
+// heap's semantics in their plainest form: fire in (time, scheduling
+// sequence) order, skipping cancelled events. The property test replays
+// identical random scenarios on it and on the timing wheel.
+type refEvent struct {
+	at        time.Duration
+	seq       int
+	id        int
+	cancelled bool
+}
+
+type refQueue struct {
+	now time.Duration
+	seq int
+	evs []refEvent
+}
+
+func (q *refQueue) schedule(at time.Duration, id int) {
+	q.seq++
+	q.evs = append(q.evs, refEvent{at: at, seq: q.seq, id: id})
+}
+
+func (q *refQueue) cancel(id int) bool {
+	for i := range q.evs {
+		if q.evs[i].id == id && !q.evs[i].cancelled {
+			q.evs[i].cancelled = true
+			return true
+		}
+	}
+	return false
+}
+
+// pop removes and returns the earliest non-cancelled event.
+func (q *refQueue) pop() (refEvent, bool) {
+	best := -1
+	for i := range q.evs {
+		if q.evs[i].cancelled {
+			continue
+		}
+		if best < 0 || q.evs[i].at < q.evs[best].at ||
+			(q.evs[i].at == q.evs[best].at && q.evs[i].seq < q.evs[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return refEvent{}, false
+	}
+	ev := q.evs[best]
+	q.evs = append(q.evs[:best], q.evs[best+1:]...)
+	q.now = ev.at
+	return ev, true
+}
+
+// scenarioNode is one event in a randomly generated scenario: fired at
+// `at` (absolute for roots, parent fire time + delay for children), it
+// schedules its children and attempts to cancel the listed ids.
+type scenarioNode struct {
+	delay    time.Duration
+	children []int
+	cancels  []int
+}
+
+// TestSchedulerMatchesReferenceHeap replays random event streams — mixed
+// magnitudes crossing every wheel level into the overflow heap, nested
+// scheduling from inside callbacks, same-instant bursts, and cancellations
+// — on the timing wheel and on the reference heap, and requires identical
+// firing orders. This is the (time, seq) FIFO contract that keeps runs
+// bit-identical across the scheduler swap.
+func TestSchedulerMatchesReferenceHeap(t *testing.T) {
+	// Delay magnitudes hit the active heap (0), level 0 (µs..ms), level 1
+	// (s), and the overflow heap (h — beyond the ~73 min horizon).
+	magnitudes := []time.Duration{
+		0, time.Microsecond, time.Millisecond, 40 * time.Millisecond,
+		time.Second, 17 * time.Second, 9 * time.Minute, 3 * time.Hour,
+	}
+	for trial := int64(0); trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(100 + trial))
+		const total = 300
+		nodes := make([]scenarioNode, total)
+		roots := []int{}
+		next := 0
+		take := func() int { id := next; next++; return id }
+		for next < total {
+			id := take()
+			nodes[id].delay = time.Duration(rng.Int63n(int64(magnitudes[rng.Intn(len(magnitudes))]) + 1))
+			if rng.Float64() < 0.3 {
+				roots = append(roots, id)
+			} else if id > 0 {
+				parent := rng.Intn(id)
+				nodes[parent].children = append(nodes[parent].children, id)
+			} else {
+				roots = append(roots, id)
+			}
+			if rng.Float64() < 0.2 {
+				nodes[id].cancels = append(nodes[id].cancels, rng.Intn(total))
+			}
+		}
+
+		// Timing-wheel run.
+		s := New()
+		var gotOrder []int
+		var gotCancels []bool
+		timers := make(map[int]*Timer, total)
+		var fire func(id int) Event
+		fire = func(id int) Event {
+			return func() {
+				gotOrder = append(gotOrder, id)
+				delete(timers, id)
+				for _, c := range nodes[id].children {
+					timers[c] = s.After(nodes[c].delay, fire(c))
+				}
+				for _, victim := range nodes[id].cancels {
+					gotCancels = append(gotCancels, timers[victim].Stop())
+					// Note: Stop on a nil *Timer (never scheduled / already
+					// fired and deleted) reports false, matching the ref.
+				}
+			}
+		}
+		for _, id := range roots {
+			timers[id] = s.At(nodes[id].delay, fire(id))
+		}
+		s.Run()
+
+		// Reference run.
+		q := &refQueue{}
+		var wantOrder []int
+		var wantCancels []bool
+		for _, id := range roots {
+			q.schedule(nodes[id].delay, id)
+		}
+		for {
+			ev, ok := q.pop()
+			if !ok {
+				break
+			}
+			wantOrder = append(wantOrder, ev.id)
+			for _, c := range nodes[ev.id].children {
+				q.schedule(q.now+nodes[c].delay, c)
+			}
+			for _, victim := range nodes[ev.id].cancels {
+				wantCancels = append(wantCancels, q.cancel(victim))
+			}
+		}
+
+		if !reflect.DeepEqual(gotOrder, wantOrder) {
+			t.Fatalf("trial %d: wheel fired %d events %v\nreference fired %d events %v",
+				trial, len(gotOrder), gotOrder, len(wantOrder), wantOrder)
+		}
+		if !reflect.DeepEqual(gotCancels, wantCancels) {
+			t.Fatalf("trial %d: cancel outcomes diverge: %v vs %v", trial, gotCancels, wantCancels)
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events still pending after Run", trial, s.Pending())
+		}
 	}
 }
 

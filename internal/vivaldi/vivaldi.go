@@ -184,6 +184,11 @@ func NewNode(cfg Config, rng *rand.Rand) *Node {
 // Coord returns a copy of the node's current coordinate.
 func (n *Node) Coord() coordspace.Coord { return n.st.CoordAt(0) }
 
+// ViewCoord returns the node's coordinate as a zero-allocation view
+// aliasing internal state — valid only until the next Update. The live
+// daemon's response path reads it once per probe answered.
+func (n *Node) ViewCoord() coordspace.Coord { return n.st.ViewAt(0) }
+
 // Error returns the node's current local error estimate.
 func (n *Node) Error() float64 { return n.err }
 

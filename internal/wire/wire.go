@@ -107,24 +107,68 @@ func appendHeader(dst []byte, typ uint8) []byte {
 	return dst
 }
 
-// Decode parses a packet into either a ProbeRequest or a ProbeResponse.
-func Decode(b []byte) (any, error) {
+// Msg is the decoded form of a packet for allocation-free consumers: Type
+// selects which of the two bodies is meaningful.
+type Msg struct {
+	Type uint8
+	Req  ProbeRequest
+	Resp ProbeResponse
+}
+
+// DecodeInto parses a packet into m without allocating: a response's
+// coordinate vector is decoded into vec's backing array when it has
+// capacity (MaxDims suffices for any valid packet), falling back to a
+// fresh allocation otherwise. On success m.Resp.Vec aliases vec, so a
+// caller reusing scratch must consume the message before the next
+// DecodeInto. On error m's contents are unspecified beyond Type.
+func DecodeInto(b []byte, m *Msg, vec []float64) error {
 	if len(b) < headerLen {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	if binary.BigEndian.Uint16(b) != Magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if b[2] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+		return fmt.Errorf("%w: %d", ErrBadVersion, b[2])
 	}
+	m.Type = b[3]
 	switch b[3] {
 	case TypeProbeRequest:
-		return decodeRequest(b)
+		req, err := decodeRequest(b)
+		if err != nil {
+			return err
+		}
+		m.Req = req
+		return nil
 	case TypeProbeResponse:
-		return decodeResponse(b)
+		resp, err := decodeResponseInto(b, vec)
+		if err != nil {
+			return err
+		}
+		m.Resp = resp
+		return nil
 	}
-	return nil, fmt.Errorf("%w: %d", ErrBadType, b[3])
+	return fmt.Errorf("%w: %d", ErrBadType, b[3])
+}
+
+// Decode parses a packet into either a ProbeRequest or a ProbeResponse.
+// It allocates the response vector; hot paths use DecodeInto instead.
+func Decode(b []byte) (any, error) {
+	var m Msg
+	err := DecodeInto(b, &m, nil)
+	switch m.Type {
+	case TypeProbeRequest:
+		if err != nil {
+			return ProbeRequest{}, err
+		}
+		return m.Req, nil
+	case TypeProbeResponse:
+		if err != nil {
+			return ProbeResponse{}, err
+		}
+		return m.Resp, nil
+	}
+	return nil, err
 }
 
 func decodeRequest(b []byte) (ProbeRequest, error) {
@@ -137,7 +181,10 @@ func decodeRequest(b []byte) (ProbeRequest, error) {
 	}, nil
 }
 
-func decodeResponse(b []byte) (ProbeResponse, error) {
+// decodeResponseInto decodes a response, writing the coordinate vector
+// into vec's backing array when it has room (so steady-state decoding is
+// allocation-free) and allocating only as a fallback.
+func decodeResponseInto(b []byte, vec []float64) (ProbeResponse, error) {
 	if len(b) < responseFixed {
 		return ProbeResponse{}, ErrTruncated
 	}
@@ -154,7 +201,11 @@ func decodeResponse(b []byte) (ProbeResponse, error) {
 	if len(b) < responseFixed+8*dims {
 		return ProbeResponse{}, ErrTruncated
 	}
-	m.Vec = make([]float64, dims)
+	if cap(vec) >= dims {
+		m.Vec = vec[:dims]
+	} else {
+		m.Vec = make([]float64, dims)
+	}
 	for i := range m.Vec {
 		m.Vec[i] = math.Float64frombits(binary.BigEndian.Uint64(b[33+8*i:]))
 	}
