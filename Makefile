@@ -23,10 +23,14 @@ docs-check:
 	./scripts/docs-check.sh
 
 # Example smoke tests: the quickstart and the (virtual-clock, hence
-# deterministic and fast) live-udp demo must run to completion.
+# deterministic and fast) live-udp demo must run to completion, and the
+# chaos-campaign scenarios must be registered (vna-sim -list is the
+# contract the docs' reproduce commands rely on).
 smoke:
 	go run ./examples/quickstart
 	go run ./examples/live-udp
+	go run ./cmd/vna-sim -list | grep '^campaignFull ' > /dev/null
+	go run ./cmd/vna-sim -list | grep '^liveLoss ' > /dev/null
 
 # Runs the full benchmark suite with allocation stats and tees the raw
 # output to bench.txt (the CI bench job uploads it as an artifact).

@@ -54,7 +54,8 @@ func main() {
 			if sp.Custom != nil {
 				kind = "custom"
 			}
-			fmt.Printf("%-10s %-22s %-8s %-7s %-7s %s\n", sp.Name, sp.Figure, kind, specSubstrate(sp), specBackend(sp), sp.Title)
+			fmt.Printf("%-17s %-22s %-8s %-7s %-7s %-4s %s\n",
+				sp.Name, sp.Figure, kind, specSubstrate(sp), specBackend(sp), specCampaign(sp), sp.Title)
 		}
 		return
 	}
@@ -128,6 +129,9 @@ func main() {
 		kind, bytes := runSubstrate(id, preset)
 		fmt.Fprintf(os.Stderr, "running %s at preset %s (workers=%d, substrate=%s, backend=%s, ~%s resident)...\n",
 			id, preset.Name, *workersFlag, kind, runBackend(id, preset), latency.FormatBytes(bytes))
+		for _, tl := range campaignTimelines(id) {
+			fmt.Fprintf(os.Stderr, "  campaign %s\n", tl)
+		}
 		result, err := experiment.RunWith(id, preset, *workersFlag)
 		if err != nil {
 			fatal(err)
@@ -185,6 +189,47 @@ func specSubstrate(sp engine.ScenarioSpec) string {
 		}
 	}
 	return string(kind)
+}
+
+// specCampaign summarises a scenario's campaign schedules (-list column):
+// "4ph" when some run attaches a 4-phase schedule, "-" otherwise.
+func specCampaign(sp engine.ScenarioSpec) string {
+	phases := 0
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			if r.Schedule != nil && len(r.Schedule.Phases) > phases {
+				phases = len(r.Schedule.Phases)
+			}
+		}
+	}
+	if phases == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dph", phases)
+}
+
+// campaignTimelines renders each distinct phase timeline a scenario's
+// runs schedule, labelled by series — the run banner's campaign lines.
+func campaignTimelines(id string) []string {
+	sp, ok := engine.Get(id)
+	if !ok {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			if r.Schedule == nil {
+				continue
+			}
+			line := fmt.Sprintf("%q: %s", s.Label, r.Schedule.Timeline())
+			if !seen[line] {
+				seen[line] = true
+				out = append(out, line)
+			}
+		}
+	}
+	return out
 }
 
 // specBackend names the execution backend a scenario's runs pin (-list

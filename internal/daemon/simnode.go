@@ -120,6 +120,24 @@ func (n *SimNode) ErrorEstimate() float64 { return n.vn.Error() }
 // Updates returns how many samples the node has applied.
 func (n *SimNode) Updates() int { return n.updates }
 
+// PendingProbes returns how many probes are awaiting a response (expired
+// entries included until the next send's garbage collection) — test
+// visibility into the timeout path.
+func (n *SimNode) PendingProbes() int { return len(n.pending) }
+
+// Reset returns the node to its just-joined state: origin coordinate,
+// initial error, no applied samples, and an empty pending set — the live
+// backend's churn model, where a departing host's address is taken by a
+// fresh join. The port, probe ticker, RNG stream and sequence counter
+// survive (it is the same address probing the same springs), and clearing
+// the pending set guarantees responses to the old incarnation's probes
+// can never match, so they are dropped like any unsolicited packet.
+func (n *SimNode) Reset() {
+	n.vn.Reset()
+	clear(n.pending)
+	n.updates = 0
+}
+
 // SyncInto copies the node's coordinate into slot i of dst — the engine's
 // barrier readout.
 func (n *SimNode) SyncInto(dst *coordspace.Store, i int) { n.vn.SyncInto(dst, i) }

@@ -116,6 +116,68 @@ func TestSimMeshSurvivesLoss(t *testing.T) {
 	}
 }
 
+// TestSimNodeReset is the churn primitive: Reset returns the protocol
+// state machine to a fresh join — origin coordinate, initial error, no
+// applied updates — while the port stays bound, and responses to probes
+// the old incarnation sent are discarded (the pending set was cleared, so
+// they can never match a live sequence number).
+func TestSimNodeReset(t *testing.T) {
+	pos := []float64{0, 30, 60}
+	sim, _, nodes := simMesh(3, lineRTT(pos), simnet.NetConfig{})
+	sim.RunUntil(30 * time.Second)
+
+	atOrigin := func(c coordspace.Coord) bool {
+		for _, v := range c.V {
+			if v != 0 {
+				return false
+			}
+		}
+		return c.H == 0
+	}
+	n := nodes[0]
+	if n.Updates() == 0 || atOrigin(n.Coord()) {
+		t.Fatal("node never converged before reset")
+	}
+	init := n.vn.Config().InitialError
+
+	// Reset at an instant where probes from the old incarnation are still
+	// in flight: their responses arrive after the reset and must not touch
+	// the fresh state.
+	pendingBefore := n.PendingProbes()
+	n.Reset()
+	if n.Updates() != 0 {
+		t.Fatalf("updates survived reset: %d", n.Updates())
+	}
+	if !atOrigin(n.Coord()) {
+		t.Fatalf("coordinate survived reset: %v", n.Coord())
+	}
+	if got := n.ErrorEstimate(); got != init {
+		t.Fatalf("error estimate %g after reset, want initial %g", got, init)
+	}
+	if n.PendingProbes() != 0 {
+		t.Fatalf("pending set survived reset: %d", n.PendingProbes())
+	}
+	_ = pendingBefore // in-flight probes of the old incarnation, if any
+
+	// Drain only the in-flight deliveries (no new probe fires before the
+	// next ticker edge at 100ms): stale responses must all be dropped.
+	sim.RunUntil(sim.Now() + 50*time.Millisecond)
+	if n.Updates() != 0 {
+		t.Fatalf("stale response from the old incarnation was applied (%d updates)", n.Updates())
+	}
+
+	// Then the node rejoins organically and re-embeds the topology.
+	sim.RunUntil(sim.Now() + 60*time.Second)
+	if n.Updates() < 300 {
+		t.Fatalf("node applied only %d updates after rejoining", n.Updates())
+	}
+	near := n.vn.Config().Space.Dist(n.Coord(), nodes[1].Coord())
+	far := n.vn.Config().Space.Dist(n.Coord(), nodes[2].Coord())
+	if far <= near {
+		t.Fatalf("rejoined node did not re-embed: near=%.1fms far=%.1fms", near, far)
+	}
+}
+
 // TestSimForgedRepliesTraverseWire asserts the malicious path end to end at
 // the wire layer: a tapped node's forged reply is (1) re-clamped so it
 // cannot fake protocol identity, (2) round-trips the wire encoding intact,

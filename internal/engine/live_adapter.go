@@ -35,16 +35,17 @@ import (
 //     clock, so a fixed seed yields bit-identical series for any worker
 //     count, same as the in-memory backend.
 type liveSystem struct {
-	cfg      vivaldi.Config // resolved (defaults applied)
-	m        latency.Substrate
-	sim      *simnet.Sim
-	net      *simnet.Network
-	nodes    []*daemon.SimNode
-	taps     []vivaldi.Tap
-	store    *coordspace.Store
-	errs     []float64
-	tick     int
-	interval time.Duration
+	cfg       vivaldi.Config // resolved (defaults applied)
+	m         latency.Substrate
+	sim       *simnet.Sim
+	net       *simnet.Network
+	nodes     []*daemon.SimNode
+	taps      []vivaldi.Tap
+	neighbors [][]int
+	store     *coordspace.Store
+	errs      []float64
+	tick      int
+	interval  time.Duration
 
 	// Per-source one-way delay cache over the spring graph's edges,
 	// normalized to the lower endpoint (RTTs are symmetric). Built once at
@@ -115,6 +116,7 @@ func NewLiveNet(m latency.Substrate, cfg vivaldi.Config, seed int64, sh Sharder,
 	})
 	ls.net = net
 	neighbors := vivaldi.NeighborSets(m, cfg, seed, sh)
+	ls.neighbors = neighbors
 	ls.buildDelayCache(neighbors)
 	for i := 0; i < n; i++ {
 		ls.nodes[i] = daemon.NewSimNode(sim, net, i, daemon.SimConfig{
@@ -288,6 +290,59 @@ func (ls *liveSystem) Measure(peers [][]int, include func(int) bool, sh Sharder,
 // NetStats exposes the virtual network's fault counters (run banners,
 // tests).
 func (ls *liveSystem) NetStats() simnet.NetStats { return ls.net.Stats() }
+
+// TakeNetStats reads and resets the fault counters — per-phase accounting
+// for campaigns.
+func (ls *liveSystem) TakeNetStats() simnet.NetStats { return ls.net.TakeStats() }
+
+// Neighbors returns node i's spring set (campaign SelDegree selector).
+func (ls *liveSystem) Neighbors(i int) []int { return ls.neighbors[i] }
+
+// RemoveTaps uninstalls the given daemons' attack taps: the wire-layer
+// forge disarms and the node resumes moving its own coordinate — the
+// teardown half of Inject, used by campaign phases that end mid-run.
+func (ls *liveSystem) RemoveTaps(ids []int) {
+	for _, id := range ids {
+		ls.SetTap(id, nil)
+	}
+}
+
+// ResetNode implements live churn: the daemon returns to its just-joined
+// state (origin coordinate, initial error, empty pending set) and the
+// barrier readout is refreshed immediately, so a measurement in the same
+// period sees the fresh join rather than the departed host's coordinate.
+func (ls *liveSystem) ResetNode(i int) {
+	ls.nodes[i].Reset()
+	ls.nodes[i].SyncInto(ls.store, i)
+	ls.errs[i] = ls.nodes[i].ErrorEstimate()
+}
+
+// ApplyPartition / HealPartition sever and restore links at the packet
+// layer: probes across the cut are sent and never delivered, timing out
+// in the prober's pending set exactly like real partition loss.
+func (ls *liveSystem) ApplyPartition(a, b []bool) int { return ls.net.Partition(a, b) }
+func (ls *liveSystem) HealPartition(id int)           { ls.net.Heal(id) }
+
+// SetFaults / CurrentFaults mutate the virtual network's fault knobs while
+// daemons run. In-flight packets keep the draws made at send time.
+func (ls *liveSystem) SetFaults(f FaultSpec) {
+	ls.net.SetFaults(simnet.FaultConfig{
+		Loss:         f.Loss,
+		Duplicate:    f.Duplicate,
+		Reorder:      f.Reorder,
+		ReorderDelay: f.ReorderDelay(),
+	})
+}
+
+func (ls *liveSystem) CurrentFaults() FaultSpec {
+	f := ls.net.Faults()
+	return FaultSpec{
+		Loss:           f.Loss,
+		Duplicate:      f.Duplicate,
+		Reorder:        f.Reorder,
+		ReorderDelayMS: float64(f.ReorderDelay) / float64(time.Millisecond),
+	}
+}
 
 // Close releases every daemon's port and timer. Engine runs let the
 // garbage collector reclaim finished populations, but long-lived callers

@@ -173,9 +173,9 @@ func TestLiveBackendUnderFaults(t *testing.T) {
 }
 
 // TestLiveBackendValidation covers the spec-level contract: the live
-// backend refuses NPS scenarios and churn runs, both at validation and at
-// run time (a scale-level override can reach an NPS scenario only at run
-// time).
+// backend refuses NPS scenarios (at validation and at run time), accepts
+// churn runs (the SimNode reset path models live churn), and rejects
+// run-level faults on the memory backend.
 func TestLiveBackendValidation(t *testing.T) {
 	bad := ScenarioSpec{
 		Name: "x", System: SystemNPS, Output: OutMeanVsTime,
@@ -188,14 +188,28 @@ func TestLiveBackendValidation(t *testing.T) {
 		Name: "x", System: SystemVivaldi, Output: OutMeanVsTime,
 		Series: []SeriesSpec{{Label: "a", Runs: []RunSpec{{Backend: BackendLive, ChurnFrac: 0.1}}}},
 	}
-	if err := churn.Validate(); err == nil {
-		t.Error("live churn spec accepted at validation")
+	if err := churn.Validate(); err != nil {
+		t.Errorf("live churn spec rejected at validation: %v", err)
 	}
 	if err := (ScenarioSpec{
 		Name: "x", System: SystemVivaldi, Output: OutMeanVsTime,
 		Series: []SeriesSpec{{Label: "a", Runs: []RunSpec{{Backend: "bogus"}}}},
 	}).Validate(); err == nil {
 		t.Error("bogus backend accepted")
+	}
+	// Run-level faults describe the packet network, which only the live
+	// backend has; a memory run carrying them must fail loudly.
+	if err := (ScenarioSpec{
+		Name: "x", System: SystemVivaldi, Output: OutMeanVsTime,
+		Series: []SeriesSpec{{Label: "a", Runs: []RunSpec{{Faults: FaultSpec{Loss: 0.1}}}}},
+	}).Validate(); err == nil {
+		t.Error("memory run with faults accepted at validation")
+	}
+	if err := (ScenarioSpec{
+		Name: "x", System: SystemVivaldi, Output: OutMeanVsTime,
+		Series: []SeriesSpec{{Label: "a", Runs: []RunSpec{{Backend: BackendLive, Faults: FaultSpec{Loss: 0.1}}}}},
+	}).Validate(); err != nil {
+		t.Errorf("live run with faults rejected: %v", err)
 	}
 
 	sc := liveScale
@@ -208,21 +222,35 @@ func TestLiveBackendValidation(t *testing.T) {
 	if _, err := RunScenario(npsSpec, sc, NewPool(1)); err == nil {
 		t.Error("scale-level live override ran an NPS scenario")
 	}
-	// A churn run reached through the scale-level override must be
-	// rejected too — silently dropping the churn would mislabel the
-	// produced series.
-	churnSpec := ScenarioSpec{
-		Name: "x", System: SystemVivaldi, Output: OutMeanVsTime,
-		Series: []SeriesSpec{{Label: "a", Runs: []RunSpec{{ChurnFrac: 0.05}}}},
+}
+
+// TestLiveChurn drives a churn run end-to-end on the live backend: the
+// reset daemons re-converge from scratch, so the churned series must stay
+// above the churn-free one (the live-churn carryover the campaign work
+// closed).
+func TestLiveChurn(t *testing.T) {
+	spec := ScenarioSpec{
+		Name: "livechurn", Title: "live churn", System: SystemVivaldi, Output: OutMeanVsTime,
+		Series: []SeriesSpec{
+			{Label: "churn 20%", Runs: []RunSpec{{ChurnFrac: 0.20, Backend: BackendLive}}},
+			{Label: "no churn", Runs: []RunSpec{{Backend: BackendLive}}},
+		},
 	}
-	if _, err := RunScenario(churnSpec, sc, NewPool(1)); err == nil {
-		t.Error("scale-level live override ran a churn scenario")
+	res, err := RunScenario(spec, liveScale, NewPool(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, clean := res.Series[0], res.Series[1]
+	last := len(churned.Y) - 1
+	if churned.Y[last] <= clean.Y[last] {
+		t.Errorf("live churn had no effect: churned %.3f vs clean %.3f", churned.Y[last], clean.Y[last])
 	}
 }
 
 // TestSupportsLive pins the upfront filter cmd/vna-sim applies before a
-// -backend live sweep: custom runners, NPS systems and churn runs are all
-// named as blockers; a plain Vivaldi spec passes.
+// -backend live sweep: custom runners and NPS systems are named as
+// blockers; plain Vivaldi specs — churn included, since live churn landed
+// with the campaign work — pass.
 func TestSupportsLive(t *testing.T) {
 	ok := ScenarioSpec{
 		Name: "x", System: SystemVivaldi, Output: OutMeanVsTime,
@@ -244,8 +272,76 @@ func TestSupportsLive(t *testing.T) {
 		Name: "x", System: SystemVivaldi, Output: OutMeanVsTime,
 		Series: []SeriesSpec{{Label: "a", Runs: []RunSpec{{ChurnFrac: 0.05}}}},
 	}
-	if err := churn.SupportsLive(); err == nil {
-		t.Error("churn spec accepted for live")
+	if err := churn.SupportsLive(); err != nil {
+		t.Errorf("churn spec rejected for live: %v", err)
+	}
+}
+
+// TestLivePartitionTimesOut is the partition satellite's proof: probes
+// across a cut are sent, never delivered, and expire in the prober's
+// pending set — they time out rather than silently succeeding — and
+// healing the cut restores the update flow.
+func TestLivePartitionTimesOut(t *testing.T) {
+	sc := liveScale
+	m := BaseMatrix(sc)
+	cs := NewLive(m, vivaldi.Config{}, 7, Serial{})
+	ls := cs.(*liveSystem)
+	for i := 0; i < 20; i++ {
+		cs.Step(Serial{})
+	}
+
+	// Total partition: every node on both sides, so every probe crosses
+	// the cut.
+	n := cs.Size()
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	id := ls.ApplyPartition(all, all)
+	// One tick drains the packets that were already in flight when the
+	// cut landed (the partition blocks sends, it does not vaporise
+	// deliveries already scheduled).
+	cs.Step(Serial{})
+	before := make([]int, n)
+	for i := range before {
+		before[i] = ls.nodes[i].Updates()
+	}
+	ls.TakeNetStats()
+	for i := 0; i < 10; i++ {
+		cs.Step(Serial{})
+	}
+	st := ls.TakeNetStats()
+	if st.Cut == 0 {
+		t.Fatal("no transmissions counted as cut")
+	}
+	if st.Delivered != 0 {
+		t.Fatalf("%d packets delivered across a total partition", st.Delivered)
+	}
+	pendingSum := 0
+	for i := 0; i < n; i++ {
+		if got := ls.nodes[i].Updates(); got != before[i] {
+			t.Fatalf("node %d applied %d updates across the cut", i, got-before[i])
+		}
+		pendingSum += ls.nodes[i].PendingProbes()
+	}
+	if pendingSum == 0 {
+		t.Fatal("no probes pending: the cut probes should be awaiting timeouts")
+	}
+
+	// Heal: updates resume, and the stranded probes eventually expire out
+	// of the pending sets instead of matching stale responses.
+	ls.HealPartition(id)
+	for i := 0; i < 20; i++ {
+		cs.Step(Serial{})
+	}
+	resumed := 0
+	for i := 0; i < n; i++ {
+		if ls.nodes[i].Updates() > before[i] {
+			resumed++
+		}
+	}
+	if resumed < n/2 {
+		t.Fatalf("only %d/%d nodes resumed updating after heal", resumed, n)
 	}
 }
 

@@ -31,6 +31,16 @@ func (a *npsAdapter) Evaluable(i int) bool         { return !a.sys.IsLandmark(i)
 func (a *npsAdapter) Layer(i int) int { return a.sys.Layer(i) }
 func (a *npsAdapter) Layers() int     { return a.sys.Config().Layers }
 
+// IsLandmark exposes the landmark role for campaign selectors.
+func (a *npsAdapter) IsLandmark(i int) bool { return a.sys.IsLandmark(i) }
+
+// RemoveTaps uninstalls the given nodes' attack taps (campaign teardown).
+func (a *npsAdapter) RemoveTaps(ids []int) {
+	for _, id := range ids {
+		a.sys.SetTap(id, nil)
+	}
+}
+
 func (a *npsAdapter) FilterStats() nps.FilterStats { return a.sys.Stats() }
 func (a *npsAdapter) ResetFilterStats()            { a.sys.ResetStats() }
 

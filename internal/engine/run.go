@@ -250,16 +250,14 @@ func aggregate(us []unitResult) runOutcome {
 // it.
 func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed int64, sh Sharder) (CoordSystem, error) {
 	backend := ResolveBackend(r, sc)
-	if backend == BackendLive {
-		// Spec-pinned live runs are rejected for these at registration
-		// (Validate); this guards the Scale.Backend / -backend override
-		// path, where silently dropping churn would mislabel the output.
-		if kind != SystemVivaldi {
-			return nil, fmt.Errorf("the live backend implements vivaldi only (got %q)", kind)
-		}
-		if r.ChurnFrac > 0 {
-			return nil, fmt.Errorf("the live backend does not support churn")
-		}
+	// Spec-pinned runs are rejected for these at registration (Validate);
+	// this guards the Scale.Backend / -backend override path, where a
+	// silent fallback would mislabel the output.
+	if backend == BackendLive && kind != SystemVivaldi {
+		return nil, fmt.Errorf("the live backend implements vivaldi only (got %q)", kind)
+	}
+	if backend != BackendLive && r.Faults != (FaultSpec{}) {
+		return nil, fmt.Errorf("run-level faults require the live backend (the in-memory engine has no packet network)")
 	}
 	switch kind {
 	case SystemVivaldi:
@@ -272,7 +270,12 @@ func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed
 			}
 		}
 		if backend == BackendLive {
-			return NewLive(m, vivaldi.Config{Space: space}, seed, sh), nil
+			return NewLiveNet(m, vivaldi.Config{Space: space}, seed, sh, LiveNetConfig{
+				Loss:         r.Faults.Loss,
+				Duplicate:    r.Faults.Duplicate,
+				Reorder:      r.Faults.Reorder,
+				ReorderDelay: r.Faults.ReorderDelay(),
+			}), nil
 		}
 		return NewVivaldiSharded(m, vivaldi.Config{Space: space}, seed, sh), nil
 	case SystemNPS:
@@ -345,6 +348,17 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 	malicious := core.SelectMalicious(cs.Size(), r.Frac, exclude, repSeed)
 	malSet := core.MemberSet(malicious)
 
+	// Campaign resolution draws any scheduled attackers up front, excluding
+	// the main malicious set (and vice versa below): the two draws never
+	// overlap, and both populations leave the honest set before the first
+	// sample.
+	camp, err := newCampaign(cs, r, repSeed, func(i int) bool {
+		return malSet[i] || exclude(i)
+	})
+	if err != nil {
+		return unitResult{err: err}
+	}
+
 	u := unitResult{cleanRef: math.NaN()}
 	// One measurement buffer per unit, reused for every sample: the
 	// steady-state measure loop allocates nothing.
@@ -355,9 +369,10 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 	// on, even before their taps install: a series that samples across
 	// the injection point (extB) must average the same population
 	// throughout, or the comparison carries a measured-population
-	// discontinuity at the injection tick.
+	// discontinuity at the injection tick. Scheduled phase attackers are
+	// excluded the same way for the whole run, even outside their phase.
 	honest := func(i int) bool {
-		return cs.Evaluable(i) && !malSet[i]
+		return cs.Evaluable(i) && !malSet[i] && !camp.ScheduledAttacker(i)
 	}
 
 	cur := 0
@@ -397,6 +412,14 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 	for p := start; p <= total; p += every {
 		if err := advanceTo(p); err != nil {
 			return unitResult{err: err}
+		}
+		if camp != nil && injected && p >= injectAt {
+			// Campaign phases fire at measurement barriers, serially on
+			// this unit's goroutine (like Inject): period 0 is the
+			// injection barrier, period q is q·MeasureEvery ticks later.
+			if err := camp.dispatch((p - injectAt) / every); err != nil {
+				return unitResult{err: err}
+			}
 		}
 		if r.ChurnFrac > 0 && injected && p > injectAt {
 			applyChurn(cs, r.ChurnFrac, churnSeed, sampleIdx, tp, malSet)

@@ -59,6 +59,20 @@ type RunSpec struct {
 	// every measurement period during the attack phase.
 	ChurnFrac float64
 
+	// Faults configures the live backend's network fault knobs for the
+	// whole run (the x-axis of a loss sweep, for example). Non-zero
+	// faults require the live backend: the in-memory engine has no packet
+	// network, and a silent no-op would mislabel the output.
+	Faults FaultSpec
+
+	// Schedule, when set, attaches a chaos campaign: timed phases that
+	// install and remove attack mixes, mutate fault knobs, partition the
+	// network and fire churn bursts at measurement-period barriers (see
+	// campaign.go). Held by pointer so RunSpec stays a comparable map key;
+	// spec dedup is therefore by schedule identity — series that should
+	// share a simulated run must share the *Schedule value.
+	Schedule *Schedule
+
 	// Substrate selects the latency backend for this run: dense (the
 	// default), packed (float32 upper triangle, ≥4× smaller) or model
 	// (O(n) state, RTTs recomputed on demand — the only backend that
@@ -231,12 +245,20 @@ func (sp ScenarioSpec) Validate() error {
 			if _, err := ParseExecBackend(string(r.Backend)); err != nil {
 				return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
 			}
-			if r.Backend == BackendLive {
-				if sp.System != SystemVivaldi {
-					return fmt.Errorf("engine: scenario %s: series %q: the live backend implements vivaldi only", sp.Name, s.Label)
+			if r.Backend == BackendLive && sp.System != SystemVivaldi {
+				return fmt.Errorf("engine: scenario %s: series %q: the live backend implements vivaldi only", sp.Name, s.Label)
+			}
+			if r.Faults != (FaultSpec{}) {
+				if err := r.Faults.validate(); err != nil {
+					return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
 				}
-				if r.ChurnFrac > 0 {
-					return fmt.Errorf("engine: scenario %s: series %q: the live backend does not support churn", sp.Name, s.Label)
+				if r.Backend != BackendLive {
+					return fmt.Errorf("engine: scenario %s: series %q: run-level faults require the live backend", sp.Name, s.Label)
+				}
+			}
+			if r.Schedule != nil {
+				if err := r.Schedule.Validate(sp.System); err != nil {
+					return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
 				}
 			}
 		}
@@ -252,23 +274,18 @@ func (sp ScenarioSpec) Validate() error {
 }
 
 // SupportsLive reports whether a live-backend override can apply to this
-// scenario: the live backend implements Vivaldi only, bypasses Custom
-// runners, and rejects churn. The returned error names the first blocker
-// (nil when the override is fine) so callers like cmd/vna-sim can filter
-// or fail upfront instead of aborting mid-loop with partial output.
+// scenario: the live backend implements Vivaldi only and bypasses Custom
+// runners. (Churn runs live since the SimNode reset path landed — extC
+// and campaign churn both work under -backend live.) The returned error
+// names the first blocker (nil when the override is fine) so callers like
+// cmd/vna-sim can filter or fail upfront instead of aborting mid-loop
+// with partial output.
 func (sp ScenarioSpec) SupportsLive() error {
 	if sp.Custom != nil {
 		return fmt.Errorf("scenario %s cannot run on the live backend (custom runner)", sp.Name)
 	}
 	if sp.System != SystemVivaldi {
 		return fmt.Errorf("scenario %s cannot run on the live backend (vivaldi only)", sp.Name)
-	}
-	for _, s := range sp.Series {
-		for _, r := range s.Runs {
-			if r.ChurnFrac > 0 {
-				return fmt.Errorf("scenario %s cannot run on the live backend (churn is not supported live)", sp.Name)
-			}
-		}
 	}
 	return nil
 }

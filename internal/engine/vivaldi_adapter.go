@@ -38,6 +38,21 @@ func (a *vivaldiAdapter) Step(sh Sharder)              { a.sys.StepParallel(sh) 
 func (a *vivaldiAdapter) EligibleAttacker(i int) bool  { return true }
 func (a *vivaldiAdapter) Evaluable(i int) bool         { return true }
 func (a *vivaldiAdapter) ResetNode(i int)              { a.sys.ResetNode(i) }
+func (a *vivaldiAdapter) Neighbors(i int) []int        { return a.sys.Neighbors(i) }
+
+// RemoveTaps uninstalls the given nodes' attack taps — the teardown half
+// of Inject, used by campaign phases that end mid-run.
+func (a *vivaldiAdapter) RemoveTaps(ids []int) {
+	for _, id := range ids {
+		a.sys.SetTap(id, nil)
+	}
+}
+
+// ApplyPartition / HealPartition sever and restore probe links — on the
+// in-memory backend a blocked probe yields no sample (its RNG draws are
+// still consumed, preserving stream alignment).
+func (a *vivaldiAdapter) ApplyPartition(x, y []bool) int { return a.sys.ApplyPartition(x, y) }
+func (a *vivaldiAdapter) HealPartition(id int)           { a.sys.HealPartition(id) }
 
 func (a *vivaldiAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
 func (a *vivaldiAdapter) Store() *coordspace.Store     { return a.sys.Store() }

@@ -34,7 +34,12 @@ func TestRegistryComplete(t *testing.T) {
 	if _, ok := Get("fig17"); ok {
 		t.Error("fig17 is a diagram, not an experiment — must not be registered")
 	}
-	extras := []string{"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k", "attack25k", "live1740", "liveAttack", "live5k", "live25k"}
+	extras := []string{
+		"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k",
+		"attack25k", "live1740", "liveAttack", "live5k", "live25k",
+		"campaignPartition", "campaignLoss", "campaignChurn", "campaignFlash",
+		"campaignFull", "liveLoss",
+	}
 	for _, ext := range extras {
 		if _, ok := Get(ext); !ok {
 			t.Errorf("extension experiment %s not registered", ext)
@@ -169,6 +174,98 @@ func TestDeterminism5kAcrossWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(one, eight) {
 		t.Error("scale5k: results differ between 1 and 8 workers")
+	}
+}
+
+// TestCampaignDeterminismAcrossWorkers extends the worker-count contract
+// to the full chaos campaign — attack under partition, mid-run loss
+// phase, churn burst at teardown — on BOTH execution backends: phase
+// dispatch happens at measurement barriers on the engine's single
+// control thread, and every campaign draw comes from its own derived
+// stream, so the worker count must not leak into the series.
+func TestCampaignDeterminismAcrossWorkers(t *testing.T) {
+	live := detScale
+	live.Backend = engine.BackendLive
+	for _, bk := range []struct {
+		name string
+		p    Preset
+	}{{"memory", detScale}, {"live", live}} {
+		one, err := RunWith("campaignFull", bk.p, 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", bk.name, err)
+		}
+		eight, err := RunWith("campaignFull", bk.p, 8)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", bk.name, err)
+		}
+		if !reflect.DeepEqual(one, eight) {
+			t.Errorf("campaignFull on %s backend: results differ between 1 and 8 workers", bk.name)
+		}
+		if len(one.Series) != 1 || len(one.Series[0].Y) == 0 {
+			t.Fatalf("campaignFull on %s backend produced no samples", bk.name)
+		}
+		for k, y := range one.Series[0].Y {
+			if math.IsNaN(y) {
+				t.Fatalf("campaignFull on %s backend: NaN at sample %d", bk.name, k)
+			}
+		}
+	}
+}
+
+// TestCampaignChurnSpec runs the registered attack-removal campaign end
+// to end at the bench preset (kept in -short: it is the CI smoke for the
+// whole campaign machinery). The attacked series must degrade relative
+// to clean while the attack is installed.
+func TestCampaignChurnSpec(t *testing.T) {
+	r, err := RunWith("campaignChurn", tinyPreset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("campaignChurn series %d, want 3", len(r.Series))
+	}
+	clean, attacked := r.Series[0], r.Series[1]
+	// Sample index 2 is measurement period 2, inside the attack window
+	// [1,3).
+	if attacked.Y[2] < clean.Y[2]*1.2 {
+		t.Errorf("scheduled attack had no effect: attacked %.3f vs clean %.3f at period 2",
+			attacked.Y[2], clean.Y[2])
+	}
+}
+
+// TestLiveLossDegradation is the lossy live sweep: the colluding
+// isolation attack at the paper's 1740-node population must keep
+// degrading honest accuracy at every ambient loss level — the ratio
+// baseline at each sweep point already includes that point's loss, so
+// the curve isolates the attack's marginal damage.
+func TestLiveLossDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1740-node live sweep")
+	}
+	// The colluders' forged delays are realized as actual response
+	// latency (~83 ticks in flight at the 3s tick interval), so the
+	// attack phase must outlast that lag.
+	p := tinyPreset
+	p.VivaldiConvergeTicks = 60
+	p.VivaldiAttackTicks = 300
+	p.MeasureEvery = 60
+	p.EvalPeers = 8
+	r, err := RunWith("liveLoss", p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 1 {
+		t.Fatalf("liveLoss series %d, want 1", len(r.Series))
+	}
+	s := r.Series[0]
+	if len(s.Y) != 4 {
+		t.Fatalf("liveLoss sweep points %d, want 4", len(s.Y))
+	}
+	for k, y := range s.Y {
+		if !(y > 1.5) {
+			t.Errorf("loss=%g%%: final error ratio %.3f, want > 1.5 (attack must degrade accuracy under loss)",
+				s.X[k], y)
+		}
 	}
 }
 

@@ -546,6 +546,139 @@ func init() {
 			},
 		})
 	}
+
+	// ---- Chaos campaigns (declarative fault + attack schedules) ----
+	// A Schedule attaches timed phases to a run: measurement periods after
+	// injection are the clock, and at each period barrier the engine
+	// installs and removes attack mixes, mutates live fault knobs, cuts
+	// and heals partitions, and fires churn bursts. Fault phases are
+	// no-ops on the in-memory backend (it has no packet path); everything
+	// else is backend-agnostic, so the same campaign replays over
+	// closed-form probes or live virtual UDP (`-backend live`).
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "campaignPartition", Figure: "Campaign partition",
+		Title:  "Vivaldi disorder attack while a quarter of the population is partitioned away",
+		XLabel: "tick", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("attack only", engine.RunSpec{Schedule: &engine.Schedule{Phases: []engine.Phase{
+				disorderPhase(1, 4, 0.30),
+			}}}),
+			oneRun("attack under partition", engine.RunSpec{Schedule: &engine.Schedule{Phases: []engine.Phase{
+				disorderPhase(1, 4, 0.30),
+				{At: 1, Until: 3, Partition: &engine.PhasePartition{
+					A: engine.Selector{Kind: engine.SelFrac, Frac: 0.25},
+				}},
+			}}}),
+		},
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "campaignLoss", Figure: "Campaign loss",
+		Title:  "Live virtual UDP: packet-loss ramp during a disorder attack",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("attack only", engine.RunSpec{
+				Backend: engine.BackendLive,
+				Schedule: &engine.Schedule{Phases: []engine.Phase{
+					disorderPhase(1, 4, 0.30),
+				}},
+			}),
+			oneRun("attack + loss ramp 5/10/20%", engine.RunSpec{
+				Backend: engine.BackendLive,
+				Schedule: &engine.Schedule{Phases: []engine.Phase{
+					disorderPhase(1, 4, 0.30),
+					{At: 1, Until: 2, Faults: &engine.FaultSpec{Loss: 0.05}},
+					{At: 2, Until: 3, Faults: &engine.FaultSpec{Loss: 0.10}},
+					{At: 3, Until: 4, Faults: &engine.FaultSpec{Loss: 0.20}},
+				}},
+			}),
+		},
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "campaignChurn", Figure: "Campaign churn",
+		Title:  "Vivaldi attack removal: recovery with and without a churn burst at teardown",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("clean", engine.RunSpec{}),
+			oneRun("disorder @1→3", engine.RunSpec{Schedule: &engine.Schedule{Phases: []engine.Phase{
+				disorderPhase(1, 3, 0.30),
+			}}}),
+			oneRun("disorder @1→3 + churn 30% @3", engine.RunSpec{Schedule: &engine.Schedule{Phases: []engine.Phase{
+				disorderPhase(1, 3, 0.30),
+				{At: 3, Churn: &engine.PhaseChurn{Frac: 0.30}},
+			}}}),
+		},
+	})
+
+	engine.Register(engine.ScenarioSpec{
+		Name: "campaignFlash", Figure: "Campaign flash crowd",
+		Title:  "Vivaldi flash crowd: sustained join bursts vs a stable population",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("stable", engine.RunSpec{}),
+			oneRun("15% fresh joins per period @1→4", engine.RunSpec{
+				Schedule: &engine.Schedule{Phases: []engine.Phase{
+					{At: 1, Until: 4, Churn: &engine.PhaseChurn{Frac: 0.15}},
+				}},
+			}),
+		},
+	})
+
+	// campaignFull is the acceptance workload: every phase kind in one
+	// schedule — attack under partition, a mid-run loss phase (live
+	// backend; no-op on memory), and a churn burst at teardown. It must
+	// run bit-identical at any worker count on both backends.
+	engine.Register(engine.ScenarioSpec{
+		Name: "campaignFull", Figure: "Campaign full",
+		Title:  "Chaos campaign: attack under partition with mid-run loss and a churn burst",
+		XLabel: "tick", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("campaign", engine.RunSpec{Schedule: &engine.Schedule{Phases: []engine.Phase{
+				disorderPhase(1, 3, 0.25),
+				{At: 1, Until: 2, Partition: &engine.PhasePartition{
+					A: engine.Selector{Kind: engine.SelFrac, Frac: 0.25},
+				}},
+				{At: 2, Until: 3, Faults: &engine.FaultSpec{Loss: 0.10}},
+				{At: 3, Churn: &engine.PhaseChurn{Frac: 0.10}},
+			}}}),
+		},
+	})
+
+	// liveLoss sweeps ambient packet loss against the fig09 colluding
+	// isolation attack at the paper's full 1740-node population over live
+	// virtual UDP: the paper's degradation curves assume a clean network;
+	// this probe shows the attack's relative damage survives real loss.
+	lossSweep := engine.SeriesSpec{Label: "30% colluders"}
+	for _, loss := range []float64{0, 0.05, 0.10, 0.20} {
+		lossSweep.Runs = append(lossSweep.Runs, engine.RunSpec{
+			Nodes: 1740, Backend: engine.BackendLive,
+			Frac: 0.30, Attack: colludeRepel(), ExcludeTarget: true,
+			Faults: engine.FaultSpec{Loss: loss},
+			XAxis:  engine.XExplicit, X: loss * 100,
+		})
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "liveLoss", Figure: "Live loss",
+		Title:  "Vivaldi colluding isolation at 1740 live nodes under ambient packet loss",
+		XLabel: "packet loss %", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsX,
+		Series: []engine.SeriesSpec{lossSweep},
+	})
+}
+
+// disorderPhase is the campaign shorthand: a disorder attack over a
+// random attacker fraction, active in periods [at, until).
+func disorderPhase(at, until int, frac float64) engine.Phase {
+	return engine.Phase{At: at, Until: until, Attack: &engine.PhaseAttack{
+		Spec: disorder(), Frac: frac,
+	}}
 }
 
 // sizeSweep builds the system-size figures: one series per malicious

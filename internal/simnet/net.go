@@ -67,6 +67,18 @@ func (c NetConfig) withDefaults() NetConfig {
 	return c
 }
 
+// FaultConfig is the runtime-mutable slice of NetConfig: the fault knobs a
+// chaos campaign may change while traffic is in flight. Latency and Seed
+// stay fixed for the network's lifetime — mutating them mid-run would
+// desynchronise the deterministic fault-draw stream.
+type FaultConfig struct {
+	Loss           float64
+	Duplicate      float64
+	Reorder        float64
+	ReorderDelay   time.Duration // 0 keeps the current value on SetFaults
+	DuplicateDelay time.Duration // 0 keeps the current value on SetFaults
+}
+
 // NetStats counts what the network did to traffic, for tests and run
 // banners.
 type NetStats struct {
@@ -75,6 +87,7 @@ type NetStats struct {
 	Dropped    int // lost to NetConfig.Loss
 	Duplicated int // extra copies scheduled
 	Reordered  int // packets held for ReorderDelay
+	Cut        int // blocked by an active partition
 }
 
 // Buffer pool geometry: power-of-two size classes from 32 B to 1 KiB. The
@@ -137,12 +150,22 @@ func (p *bufPool) put(b []byte) {
 // concurrent use; like the Sim itself it belongs to the single simulation
 // goroutine.
 type Network struct {
-	sim   *Sim
-	cfg   NetConfig
-	rng   *rand.Rand
-	ports map[int]*Port
-	stats NetStats
-	pool  bufPool
+	sim    *Sim
+	cfg    NetConfig
+	rng    *rand.Rand
+	ports  map[int]*Port
+	stats  NetStats
+	pool   bufPool
+	cuts   []linkCut
+	cutSeq int
+}
+
+// linkCut is one active partition: traffic between the two node sets is
+// blocked in both directions. Masks are indexed by node id; ids beyond a
+// mask's length are outside the cut.
+type linkCut struct {
+	id   int
+	a, b []bool
 }
 
 // NewNetwork returns an empty network whose deliveries are scheduled on
@@ -159,6 +182,82 @@ func NewNetwork(sim *Sim, cfg NetConfig) *Network {
 
 // Stats returns the fault-injection counters so far.
 func (n *Network) Stats() NetStats { return n.stats }
+
+// TakeStats returns the fault-injection counters so far and resets them —
+// per-phase fault accounting for campaigns that mutate the network
+// mid-run.
+func (n *Network) TakeStats() NetStats {
+	st := n.stats
+	n.stats = NetStats{}
+	return st
+}
+
+// SetFaults replaces the network's fault probabilities while traffic is in
+// flight. Packets already scheduled keep the draws made when they were
+// sent (drawn-at-fire-time semantics); only subsequent sends see the new
+// knobs. Zero delays keep their current values, so a campaign can sweep
+// Loss without knowing the delay defaults.
+func (n *Network) SetFaults(f FaultConfig) {
+	n.cfg.Loss = f.Loss
+	n.cfg.Duplicate = f.Duplicate
+	n.cfg.Reorder = f.Reorder
+	if f.ReorderDelay > 0 {
+		n.cfg.ReorderDelay = f.ReorderDelay
+	}
+	if f.DuplicateDelay > 0 {
+		n.cfg.DuplicateDelay = f.DuplicateDelay
+	}
+}
+
+// Faults returns the currently effective fault knobs (delays resolved).
+func (n *Network) Faults() FaultConfig {
+	return FaultConfig{
+		Loss:           n.cfg.Loss,
+		Duplicate:      n.cfg.Duplicate,
+		Reorder:        n.cfg.Reorder,
+		ReorderDelay:   n.cfg.ReorderDelay,
+		DuplicateDelay: n.cfg.DuplicateDelay,
+	}
+}
+
+// Partition severs the links between node sets a and b (both directions)
+// and returns a handle for Heal. The masks are retained, not copied —
+// callers must not mutate them while the cut is active. Severed
+// transmissions are counted in NetStats.Cut and consume no fault draws: a
+// cut link is physically down, so the loss/duplication/reordering RNG
+// stream advances exactly as if the send had never happened.
+func (n *Network) Partition(a, b []bool) int {
+	n.cutSeq++
+	n.cuts = append(n.cuts, linkCut{id: n.cutSeq, a: a, b: b})
+	return n.cutSeq
+}
+
+// Heal removes the partition returned by Partition. Unknown ids are
+// ignored (healing twice is not an error).
+func (n *Network) Heal(id int) {
+	for k := range n.cuts {
+		if n.cuts[k].id == id {
+			n.cuts = append(n.cuts[:k], n.cuts[k+1:]...)
+			return
+		}
+	}
+}
+
+// severed reports whether an active cut blocks from→to. It runs on the
+// allocation-free packet path, so it is a plain bounds-checked mask sweep.
+func (n *Network) severed(from, to int) bool {
+	for k := range n.cuts {
+		c := &n.cuts[k]
+		fa := from < len(c.a) && c.a[from]
+		fb := from < len(c.b) && c.b[from]
+		ta := to < len(c.a) && c.a[to]
+		tb := to < len(c.b) && c.b[to]
+		if (fa && tb) || (fb && ta) {
+			return true
+		}
+	}
+	return false
+}
 
 // Port is one endpoint of the network, addressed by its integer node id.
 type Port struct {
@@ -210,6 +309,10 @@ func (p *Port) Send(to int, pkt []byte) {
 	}
 	n := p.net
 	n.stats.Sent++
+	if len(n.cuts) != 0 && n.severed(p.id, to) {
+		n.stats.Cut++
+		return
+	}
 	if randx.Bernoulli(n.rng, n.cfg.Loss) {
 		n.stats.Dropped++
 		return

@@ -197,6 +197,10 @@ func TestNetworkFaultDeterminism(t *testing.T) {
 // every delivered payload must still be exactly the bytes its sender
 // wrote. A pool bug (a buffer reused while still scheduled, a duplicate
 // sharing its original's storage) shows up as a corrupted pattern.
+//
+// The run also mutates FaultConfig mid-flight (as campaign fault phases
+// do) while packets scheduled under the old knobs are still in the wheel:
+// the pool must stay coherent across the switch.
 func TestBufferPoolPayloadIntegrity(t *testing.T) {
 	sim := New()
 	net := NewNetwork(sim, NetConfig{
@@ -266,6 +270,16 @@ func TestBufferPoolPayloadIntegrity(t *testing.T) {
 			ports[from].Send(to, pkt)
 		})
 	}
+	// Mid-run fault phase: crank every knob to the extreme a third of the
+	// way in, restore the original mix two thirds in — with deliveries
+	// scheduled under the old configuration still in flight both times.
+	sim.At(rounds/3*500*time.Microsecond, func() {
+		net.SetFaults(FaultConfig{Loss: 0.4, Duplicate: 0.6, Reorder: 0.6,
+			ReorderDelay: 40 * time.Millisecond, DuplicateDelay: 9 * time.Millisecond})
+	})
+	sim.At(2*rounds/3*500*time.Microsecond, func() {
+		net.SetFaults(FaultConfig{Loss: 0.15, Duplicate: 0.25, Reorder: 0.25})
+	})
 	sim.Run()
 
 	st := net.Stats()
@@ -274,6 +288,136 @@ func TestBufferPoolPayloadIntegrity(t *testing.T) {
 	}
 	if delivered != st.Delivered {
 		t.Fatalf("delivered %d but stats say %d", delivered, st.Delivered)
+	}
+}
+
+// TestNetworkPartition cuts the link between two node sets and checks
+// traffic across the cut is counted as Cut (not Dropped), traffic inside
+// each side still flows, and healing restores the path. Severed sends
+// consume no fault RNG draws, so a partitioned run's surviving traffic
+// sees the same fault schedule it would have seen alone.
+func TestNetworkPartition(t *testing.T) {
+	sim := New()
+	net := NewNetwork(sim, NetConfig{
+		Latency: func(from, to int) time.Duration { return time.Millisecond },
+	})
+	var got []arrival
+	collect(sim, net, 2, &got)
+	var within []arrival
+	collect(sim, net, 1, &within)
+	p0 := net.Open(0, func([]byte, int) {})
+
+	// Side A = {0, 1}, side B = {2}.
+	a := []bool{true, true, false}
+	b := []bool{false, false, true}
+	id := net.Partition(a, b)
+
+	p0.Send(2, []byte("across"))
+	p0.Send(1, []byte("inside"))
+	sim.Run()
+
+	if len(got) != 0 {
+		t.Fatalf("packet crossed an active partition: %+v", got)
+	}
+	if len(within) != 1 || within[0].pkt != "inside" {
+		t.Fatalf("intra-side traffic blocked: %+v", within)
+	}
+	st := net.TakeStats()
+	if st.Cut != 1 || st.Dropped != 0 || st.Delivered != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	net.Heal(id)
+	p0.Send(2, []byte("healed"))
+	sim.Run()
+	if len(got) != 1 || got[0].pkt != "healed" {
+		t.Fatalf("healed link did not deliver: %+v", got)
+	}
+	if st := net.Stats(); st.Cut != 0 || st.Delivered != 1 {
+		t.Fatalf("post-heal stats %+v", st)
+	}
+}
+
+// TestNetworkPartitionStacked applies two overlapping cuts: traffic is
+// blocked while either is active and flows again only when both heal.
+func TestNetworkPartitionStacked(t *testing.T) {
+	sim := New()
+	net := NewNetwork(sim, NetConfig{})
+	var got []arrival
+	collect(sim, net, 1, &got)
+	p0 := net.Open(0, func([]byte, int) {})
+
+	a := []bool{true, false}
+	b := []bool{false, true}
+	first := net.Partition(a, b)
+	second := net.Partition(b, a) // same cut, opposite orientation
+
+	send := func() { p0.Send(1, []byte("x")); sim.Run() }
+	send()
+	net.Heal(first)
+	send()
+	if len(got) != 0 {
+		t.Fatalf("delivery with a cut still active: %+v", got)
+	}
+	net.Heal(second)
+	send()
+	if len(got) != 1 {
+		t.Fatalf("both cuts healed, want delivery: %+v", got)
+	}
+	if st := net.Stats(); st.Cut != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestNetworkTakeStats checks the read-and-reset accessor: counters are
+// returned once and start from zero afterwards, leaving per-phase
+// accounting windows independent.
+func TestNetworkTakeStats(t *testing.T) {
+	sim := New()
+	net := NewNetwork(sim, NetConfig{Loss: 1, Seed: 2})
+	p0 := net.Open(0, func([]byte, int) {})
+	net.Open(1, func([]byte, int) {})
+
+	p0.Send(1, []byte("a"))
+	sim.Run()
+	if st := net.TakeStats(); st.Sent != 1 || st.Dropped != 1 {
+		t.Fatalf("first window %+v", st)
+	}
+	if st := net.Stats(); st != (NetStats{}) {
+		t.Fatalf("TakeStats did not reset: %+v", st)
+	}
+	net.SetFaults(FaultConfig{}) // drop the loss for the second window
+	p0.Send(1, []byte("b"))
+	sim.Run()
+	if st := net.TakeStats(); st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Fatalf("second window %+v", st)
+	}
+}
+
+// TestNetworkSetFaults flips fault knobs on a running network and checks
+// the new configuration takes effect for subsequent sends while zero-value
+// delays inherit the current ones.
+func TestNetworkSetFaults(t *testing.T) {
+	sim := New()
+	net := NewNetwork(sim, NetConfig{DuplicateDelay: 7 * time.Millisecond, Seed: 4})
+	var got []arrival
+	collect(sim, net, 1, &got)
+	p0 := net.Open(0, func([]byte, int) {})
+
+	p0.Send(1, []byte("clean"))
+	sim.Run()
+	net.SetFaults(FaultConfig{Duplicate: 1})
+	if f := net.Faults(); f.Duplicate != 1 || f.DuplicateDelay != 7*time.Millisecond {
+		t.Fatalf("zero delay did not inherit: %+v", f)
+	}
+	p0.Send(1, []byte("dup"))
+	sim.Run()
+
+	if len(got) != 3 || got[1].pkt != "dup" || got[2].pkt != "dup" {
+		t.Fatalf("arrivals %+v", got)
+	}
+	if got[2].at-got[1].at != 7*time.Millisecond {
+		t.Fatalf("duplicate spacing %v", got[2].at-got[1].at)
 	}
 }
 

@@ -78,7 +78,16 @@ func (s *System) scratch() *parallelScratch {
 				sc.targets[i] = -1
 				continue
 			}
-			sc.targets[i] = nbrs[s.rngs[i].Intn(len(nbrs))]
+			j := nbrs[s.rngs[i].Intn(len(nbrs))]
+			if len(s.cuts) != 0 && s.linkBlocked(i, j) {
+				// Probe lost to a partition: no sample this tick, but the
+				// target draw stays consumed so per-node streams keep
+				// their uncut alignment. Reads s.cuts through the captured
+				// receiver — mid-run cuts need no closure rebuild.
+				sc.targets[i] = -1
+				continue
+			}
+			sc.targets[i] = j
 		}
 	}
 

@@ -60,6 +60,98 @@ func TestNodeUpdateAllocs(t *testing.T) {
 	}
 }
 
+// TestPartitionBlocksProbes drives both step paths across an active cut:
+// under a total partition no probe completes, so no coordinate moves on
+// either the serial or the parallel tick; healing resumes convergence.
+func TestPartitionBlocksProbes(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(60), 4)
+	s := NewSystem(m, Config{}, 5)
+	sh := serialSharder{}
+	for i := 0; i < 30; i++ {
+		s.StepParallel(sh)
+	}
+	all := make([]bool, s.Size())
+	for i := range all {
+		all[i] = true
+	}
+	id := s.ApplyPartition(all, all)
+	frozen := s.Coords()
+	for i := 0; i < 10; i++ {
+		s.StepParallel(sh)
+	}
+	for i := 0; i < 10; i++ {
+		s.Step() // the serial tick honors the cut too
+	}
+	if !reflect.DeepEqual(s.Coords(), frozen) {
+		t.Fatal("coordinates moved across a total partition")
+	}
+	s.HealPartition(id)
+	s.StepParallel(sh)
+	if reflect.DeepEqual(s.Coords(), frozen) {
+		t.Fatal("no coordinate moved after healing the partition")
+	}
+}
+
+// TestPartitionSidedness cuts {0..k-1} from the rest and checks only
+// cross-cut probes are blocked: both sides keep converging internally.
+func TestPartitionSidedness(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(60), 4)
+	s := NewSystem(m, Config{}, 5)
+	sh := serialSharder{}
+	for i := 0; i < 5; i++ {
+		s.StepParallel(sh)
+	}
+	n := s.Size()
+	a, b := make([]bool, n), make([]bool, n)
+	for i := range a {
+		a[i] = i < n/3
+		b[i] = !a[i]
+	}
+	s.ApplyPartition(a, b)
+	before := s.Coords()
+	for i := 0; i < 20; i++ {
+		s.StepParallel(sh)
+	}
+	after := s.Coords()
+	movedA, movedB := 0, 0
+	for i := range after {
+		if !reflect.DeepEqual(after[i], before[i]) {
+			if a[i] {
+				movedA++
+			} else {
+				movedB++
+			}
+		}
+	}
+	// Both sides sample intra-side neighbors, so both keep moving.
+	if movedA == 0 || movedB == 0 {
+		t.Fatalf("a side froze entirely: A moved %d, B moved %d", movedA, movedB)
+	}
+}
+
+// TestStepParallelAllocsWithCut extends the steady-state allocation guard
+// to a tick with an active partition: the severed-link check must be a
+// mask lookup, not an allocation (the live-backend tick shares this
+// property via simnet's identical mask sweep).
+func TestStepParallelAllocsWithCut(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(200), 5)
+	sys := NewSystem(m, Config{}, 11)
+	sh := serialSharder{}
+	a, b := make([]bool, sys.Size()), make([]bool, sys.Size())
+	for i := range a {
+		a[i] = i%2 == 0
+		b[i] = !a[i]
+	}
+	sys.ApplyPartition(a, b)
+	for i := 0; i < 10; i++ {
+		sys.StepParallel(sh)
+	}
+	allocs := testing.AllocsPerRun(20, func() { sys.StepParallel(sh) })
+	if allocs != 0 {
+		t.Fatalf("tick with active cut allocates %.1f times, want 0", allocs)
+	}
+}
+
 // TestStepParallelMatchesAfterStoreRefactor pins the synchronous-tick
 // semantics to an independently computed reference: freezing the state by
 // hand and applying every update through the public ApplyUpdate path must

@@ -214,6 +214,14 @@ func (n *Node) SyncInto(dst *coordspace.Store, i int) {
 // Config returns the node's effective configuration (defaults resolved).
 func (n *Node) Config() Config { return n.cfg }
 
+// Reset returns the node to its just-joined state (origin coordinate,
+// initial error) — the per-host half of modelling churn on a live
+// population: the departing host's address is taken by a fresh join.
+func (n *Node) Reset() {
+	n.st.SetZeroAt(0)
+	n.err = n.cfg.InitialError
+}
+
 // Tap is the probe-path interception point used by the attack framework.
 // When node `prober` measures the tap's owner, Respond receives the honest
 // response and returns what the prober actually observes. The system
@@ -246,8 +254,17 @@ type System struct {
 	taps      []Tap
 	rngs      []*rand.Rand
 	tick      int
+	cuts      []linkCut // active partitions (usually none)
+	cutSeq    int
 	dirBuf    []float64        // n×stride unit-vector scratch for the update kernel
 	par       *parallelScratch // reusable buffers for StepParallel
+}
+
+// linkCut is one active partition of the probe graph: probes between the
+// two node sets are suppressed in both directions.
+type linkCut struct {
+	id   int
+	a, b []bool
 }
 
 // dirs returns the n×stride unit-vector scratch, allocating it on first
@@ -489,6 +506,46 @@ func (s *System) ResetNode(i int) {
 	s.errs[i] = s.cfg.InitialError
 }
 
+// ApplyPartition severs the probe links between node sets a and b (both
+// directions) and returns a handle for HealPartition. A node whose drawn
+// target lies across a cut skips that tick's update — the probe "times
+// out" — but its RNG stream still consumes the target draw, so healing
+// the cut leaves every per-node stream exactly where an uncut run would
+// have it. Masks are retained, not copied.
+func (s *System) ApplyPartition(a, b []bool) int {
+	s.cutSeq++
+	s.cuts = append(s.cuts, linkCut{id: s.cutSeq, a: a, b: b})
+	return s.cutSeq
+}
+
+// HealPartition removes the partition returned by ApplyPartition. Unknown
+// ids are ignored.
+func (s *System) HealPartition(id int) {
+	for k := range s.cuts {
+		if s.cuts[k].id == id {
+			s.cuts = append(s.cuts[:k], s.cuts[k+1:]...)
+			return
+		}
+	}
+}
+
+// linkBlocked reports whether an active cut suppresses probes between i
+// and j. It runs inside the steady-state tick, so it is a plain
+// bounds-checked mask sweep with an early exit when no cut is active.
+func (s *System) linkBlocked(i, j int) bool {
+	for k := range s.cuts {
+		c := &s.cuts[k]
+		ia := i < len(c.a) && c.a[i]
+		ib := i < len(c.b) && c.b[i]
+		ja := j < len(c.a) && c.a[j]
+		jb := j < len(c.b) && c.b[j]
+		if (ia && jb) || (ib && ja) {
+			return true
+		}
+	}
+	return false
+}
+
 // SetTap installs (or, with nil, removes) a probe tap on node i. All
 // responses from i pass through the tap afterwards.
 func (s *System) SetTap(i int, t Tap) { s.taps[i] = t }
@@ -533,6 +590,9 @@ func (s *System) Step() {
 			continue
 		}
 		j := nbrs[s.rngs[i].Intn(len(nbrs))]
+		if len(s.cuts) != 0 && s.linkBlocked(i, j) {
+			continue // probe lost to a partition; the target draw is kept
+		}
 		resp := s.Probe(i, j)
 		if s.taps[i] != nil {
 			continue // malicious nodes do not move themselves
