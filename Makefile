@@ -8,13 +8,13 @@ SHELL := /bin/bash -o pipefail
 BENCHTIME ?= 1x
 BENCH     ?= .
 
-.PHONY: test bench bench-guard bench-check race docs-check smoke
+.PHONY: test bench bench-serve bench-guard bench-check race docs-check smoke
 
 test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/engine/ ./internal/vivaldi/ ./internal/nps/
+	go test -race ./internal/engine/ ./internal/vivaldi/ ./internal/nps/ ./internal/serve/
 
 # Documentation gate: every internal package carries a godoc package
 # comment and every relative markdown link in README.md and docs/
@@ -22,15 +22,20 @@ race:
 docs-check:
 	./scripts/docs-check.sh
 
-# Example smoke tests: the quickstart and the (virtual-clock, hence
-# deterministic and fast) live-udp demo must run to completion, and the
-# chaos-campaign scenarios must be registered (vna-sim -list is the
-# contract the docs' reproduce commands rely on).
+# Example smoke tests: the quickstart, the (virtual-clock, hence
+# deterministic and fast) live-udp demo and the overlay-cdn consumer-path
+# demo must run to completion, the chaos-campaign scenarios must be
+# registered (vna-sim -list is the contract the docs' reproduce commands
+# rely on), and a small vna-serve load-generation run must serve queries
+# end to end.
 smoke:
 	go run ./examples/quickstart
 	go run ./examples/live-udp
+	go run ./examples/overlay-cdn
 	go run ./cmd/vna-sim -list | grep '^campaignFull ' > /dev/null
+	go run ./cmd/vna-sim -list | grep '^campaignServe ' > /dev/null
 	go run ./cmd/vna-sim -list | grep '^liveLoss ' > /dev/null
+	go run ./cmd/vna-serve -loadgen -nodes 500 -converge 50 -queries 20000 > /dev/null
 
 # Runs the full benchmark suite with allocation stats and tees the raw
 # output to bench.txt (the CI bench job uploads it as an artifact).
@@ -38,6 +43,13 @@ smoke:
 #   make bench BENCHTIME=3x BENCH='BenchmarkEngineParallel|TickSharded|Measure5k'
 bench:
 	go test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . ./internal/... | tee bench.txt
+
+# The serving-layer query benches (spatial-index vs linear-oracle k-NN,
+# EstimateRTT, per-barrier publish) with allocation stats — the inputs to
+# BENCH_serve.json's query-path columns. A higher benchtime smooths the
+# shared-container jitter: make bench-serve BENCHTIME=1000x
+bench-serve:
+	go test -run '^$$' -bench 'BenchmarkServe' -benchmem -benchtime $(BENCHTIME) . | tee bench_serve.txt
 
 # Allocation regression gate: the substrate and steady-state tick
 # benchmarks must show the sharded tick within its allocs/op ceiling.
@@ -57,10 +69,17 @@ bench:
 # bench-check applies the check to an existing output file (the CI bench
 # job points it at bench.txt from the full `make bench` run, so the
 # benchmarks execute once per job).
-TICK_ALLOC_CEILING ?= 64
-BENCH_GUARD_FILE   ?= bench_guard.txt
+# The serving layer adds a third guard: the steady k-NN query path
+# (BenchmarkServeNearestK50k, caller-scratch APIs over an immutable
+# snapshot) must stay within SERVE_ALLOC_CEILING allocs/op — it measures
+# 0 today; the ceiling of 8 leaves room for incidental runtime noise while
+# still catching any per-candidate or per-result allocation (k=16 results
+# at 50k nodes would blow straight through it).
+TICK_ALLOC_CEILING  ?= 64
+SERVE_ALLOC_CEILING ?= 8
+BENCH_GUARD_FILE    ?= bench_guard.txt
 bench-guard:
-	go test -run '^$$' -bench 'BenchmarkTickSharded5k|BenchmarkLiveTick1740|BenchmarkRTTPairsPacked|BenchmarkRTTPairsDense|BenchmarkMeasure25kModel|BenchmarkSubstrate' \
+	go test -run '^$$' -bench 'BenchmarkTickSharded5k|BenchmarkLiveTick1740|BenchmarkServeNearestK50k|BenchmarkRTTPairsPacked|BenchmarkRTTPairsDense|BenchmarkMeasure25kModel|BenchmarkSubstrate' \
 		-benchmem -benchtime 1x . | tee bench_guard.txt
 	@$(MAKE) --no-print-directory bench-check BENCH_GUARD_FILE=bench_guard.txt
 
@@ -73,5 +92,10 @@ bench-check:
 		if (allocs+0 > $(TICK_ALLOC_CEILING)) { \
 			printf "FAIL: steady-state live tick allocates %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs; exit 1 } \
 		else printf "OK: steady-state live tick %s allocs/op (ceiling $(TICK_ALLOC_CEILING))\n", allocs } \
+		/^BenchmarkServeNearestK50k/ { sfound=1; allocs=$$(NF-1); \
+		if (allocs+0 > $(SERVE_ALLOC_CEILING)) { \
+			printf "FAIL: serve k-NN query allocates %s allocs/op (ceiling $(SERVE_ALLOC_CEILING))\n", allocs; exit 1 } \
+		else printf "OK: serve k-NN query %s allocs/op (ceiling $(SERVE_ALLOC_CEILING))\n", allocs } \
 		END { if (!found) { print "FAIL: BenchmarkTickSharded5k missing from $(BENCH_GUARD_FILE)"; exit 1 } \
-		if (!lfound) { print "FAIL: BenchmarkLiveTick1740 missing from $(BENCH_GUARD_FILE)"; exit 1 } }' $(BENCH_GUARD_FILE)
+		if (!lfound) { print "FAIL: BenchmarkLiveTick1740 missing from $(BENCH_GUARD_FILE)"; exit 1 } \
+		if (!sfound) { print "FAIL: BenchmarkServeNearestK50k missing from $(BENCH_GUARD_FILE)"; exit 1 } }' $(BENCH_GUARD_FILE)

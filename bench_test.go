@@ -13,6 +13,7 @@ package vna
 import (
 	"testing"
 
+	"repro/internal/coordspace"
 	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/engine"
@@ -22,6 +23,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nps"
 	"repro/internal/optimize"
+	"repro/internal/randx"
+	"repro/internal/serve"
 	"repro/internal/vivaldi"
 )
 
@@ -537,4 +540,76 @@ func BenchmarkAblationRelativeObjective(b *testing.B) {
 // BenchmarkAblationAbsoluteObjective: the default, for side-by-side runs.
 func BenchmarkAblationAbsoluteObjective(b *testing.B) {
 	ablationNPS(b, nps.Config{Security: true, ProbeThresholdMS: 5000})
+}
+
+// ---- Serving layer (internal/serve) ----
+
+// serveSnapshot builds one published snapshot over a RandomAt-filled
+// population — k-NN performance depends only on the spatial distribution,
+// so no substrate or simulation is needed.
+func serveSnapshot(n int) *serve.Snapshot {
+	st := coordspace.NewStore(coordspace.EuclideanHeight(2), n)
+	rng := randx.New(int64(n))
+	for i := 0; i < n; i++ {
+		st.RandomAt(i, rng, 250)
+	}
+	return serve.NewEngine().Publish(st, 0)
+}
+
+func benchServeNearestK(b *testing.B, n int, linear bool) {
+	b.Helper()
+	snap := serveSnapshot(n)
+	var sc serve.Scratch
+	out := make([]serve.Neighbor, 0, 16)
+	// Warm the scratch so the measured loop is the steady query path.
+	out = snap.NearestK(0, 16, &sc, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := i % n
+		if linear {
+			out = snap.NearestKLinear(node, 16, &sc, out)
+		} else {
+			out = snap.NearestK(node, 16, &sc, out)
+		}
+	}
+	_ = out
+}
+
+// BenchmarkServeNearestK50k is the headline spatial-index query (k=16 at
+// 50 000 nodes) and carries bench-guard's serve allocs/op ceiling;
+// BenchmarkServeNearestKLinear50k is the paired O(n) oracle baseline the
+// >=10x speedup criterion is measured against.
+func BenchmarkServeNearestK50k(b *testing.B)       { benchServeNearestK(b, 50_000, false) }
+func BenchmarkServeNearestKLinear50k(b *testing.B) { benchServeNearestK(b, 50_000, true) }
+func BenchmarkServeNearestK5k(b *testing.B)        { benchServeNearestK(b, 5_000, false) }
+func BenchmarkServeNearestK1740(b *testing.B)      { benchServeNearestK(b, 1740, false) }
+
+func BenchmarkServeEstimateRTT50k(b *testing.B) {
+	snap := serveSnapshot(50_000)
+	n := snap.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += snap.EstimateRTT(i%n, (i*7+1)%n)
+	}
+	_ = sink
+}
+
+// BenchmarkServePublish50k is the publisher-side cost per measurement
+// barrier: one flat store copy plus the grid counting sort.
+func BenchmarkServePublish50k(b *testing.B) {
+	st := coordspace.NewStore(coordspace.EuclideanHeight(2), 50_000)
+	rng := randx.New(50)
+	for i := 0; i < st.Len(); i++ {
+		st.RandomAt(i, rng, 250)
+	}
+	eng := serve.NewEngine()
+	eng.Publish(st, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Publish(st, i)
+	}
 }

@@ -50,6 +50,12 @@ func (st *Store) Space() Space { return st.space }
 // long.
 func (st *Store) Stride() int { return st.stride }
 
+// Data returns the flat backing buffer (n·Stride floats, slot-major),
+// aliased. Read-only for callers: it exists so index builders and other
+// whole-population kernels can stream the coordinates without per-slot
+// view calls.
+func (st *Store) Data() []float64 { return st.data }
+
 // slot returns the full stride-sized backing slice of slot i.
 func (st *Store) slot(i int) []float64 {
 	return st.data[i*st.stride : i*st.stride+st.stride]

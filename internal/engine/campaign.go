@@ -221,9 +221,28 @@ type PhasePartition struct {
 // PhaseChurn resets a Bernoulli(Frac) draw of the selected honest nodes to
 // their just-joined state. With Until unset the burst fires once at At;
 // with Until set it fires every period in [At, Until).
+//
+// With Sessions set the phase models session-length churn instead of
+// memoryless bursts: a Bernoulli(Frac) participant set is drawn once, each
+// participant lives through Pareto-distributed sessions, and a node resets
+// (leaves and rejoins) whenever its session expires at a barrier in
+// [At, Until). Sessions requires Until.
 type PhaseChurn struct {
-	Frac float64
-	Sel  Selector
+	Frac     float64
+	Sel      Selector
+	Sessions *ChurnSessions
+}
+
+// ChurnSessions gives a churn phase heavy-tailed session lengths: each
+// participant's session duration is Pareto(MinPeriods, Alpha) measurement
+// periods — most sessions are short, a heavy tail of nodes stays for a
+// long time, matching measured peer-to-peer uptime distributions far
+// better than the memoryless Bernoulli bursts. Alpha in (1, 2] is the
+// realistic heavy-tail range (smaller = heavier tail); MinPeriods sets the
+// shortest possible session.
+type ChurnSessions struct {
+	Alpha      float64
+	MinPeriods float64
 }
 
 // Phase is one timed campaign action. At and Until are measurement
@@ -318,6 +337,17 @@ func (s *Schedule) Validate(kind SystemKind) error {
 			if err := ph.Churn.Sel.validate("churn"); err != nil {
 				return fmt.Errorf("phase %d: %w", pi, err)
 			}
+			if ses := ph.Churn.Sessions; ses != nil {
+				if ses.Alpha <= 0 {
+					return fmt.Errorf("phase %d: churn session Alpha must be > 0, got %g", pi, ses.Alpha)
+				}
+				if ses.MinPeriods <= 0 {
+					return fmt.Errorf("phase %d: churn session MinPeriods must be > 0, got %g", pi, ses.MinPeriods)
+				}
+				if ph.Until == 0 {
+					return fmt.Errorf("phase %d: session churn needs Until (sessions are meaningless in a single burst)", pi)
+				}
+			}
 		}
 	}
 	return nil
@@ -352,6 +382,9 @@ func (s *Schedule) Timeline() string {
 			fmt.Fprintf(&b, "cut %s|%s", selName(ph.Partition.A), selName(ph.Partition.B))
 		case ph.Churn != nil:
 			fmt.Fprintf(&b, "churn %g%%%s", ph.Churn.Frac*100, selSuffix(ph.Churn.Sel))
+			if ses := ph.Churn.Sessions; ses != nil {
+				fmt.Fprintf(&b, " pareto(a=%g,min=%g)", ses.Alpha, ses.MinPeriods)
+			}
 		}
 	}
 	return b.String()
@@ -428,6 +461,12 @@ type campaign struct {
 	prevFault []FaultSpec  // per fault phase, knobs to restore at Until
 	havePrev  []bool
 
+	// Session churn state (phases with Sessions set): the participant
+	// draw and each participant's next session-expiry period, both lazily
+	// resolved at the phase's first firing.
+	churnPart     [][]int
+	churnDeadline [][]float64
+
 	next int // next period to dispatch
 }
 
@@ -440,15 +479,17 @@ func newCampaign(cs CoordSystem, r RunSpec, repSeed int64, exclude func(int) boo
 		return nil, nil
 	}
 	c := &campaign{
-		cs:        cs,
-		phases:    r.Schedule.Phases,
-		seed:      repSeed,
-		attackers: make([][]int, len(r.Schedule.Phases)),
-		schedMal:  map[int]bool{},
-		churnPool: make([][]int, len(r.Schedule.Phases)),
-		cutID:     make([]int, len(r.Schedule.Phases)),
-		prevFault: make([]FaultSpec, len(r.Schedule.Phases)),
-		havePrev:  make([]bool, len(r.Schedule.Phases)),
+		cs:            cs,
+		phases:        r.Schedule.Phases,
+		seed:          repSeed,
+		attackers:     make([][]int, len(r.Schedule.Phases)),
+		schedMal:      map[int]bool{},
+		churnPool:     make([][]int, len(r.Schedule.Phases)),
+		cutID:         make([]int, len(r.Schedule.Phases)),
+		prevFault:     make([]FaultSpec, len(r.Schedule.Phases)),
+		havePrev:      make([]bool, len(r.Schedule.Phases)),
+		churnPart:     make([][]int, len(r.Schedule.Phases)),
+		churnDeadline: make([][]float64, len(r.Schedule.Phases)),
 	}
 	for pi, ph := range c.phases {
 		if ph.Attack == nil {
@@ -615,6 +656,8 @@ func (c *campaign) remove(pi int, ph Phase) error {
 // burst fires one churn period: the selector's pool (resolved once, at the
 // phase's first firing, over the honest evaluable population) is swept in
 // id order with a Bernoulli(Frac) draw from a per-(phase, period) stream.
+// Session phases (Sessions set) instead reset exactly the participants
+// whose Pareto session expired by this barrier.
 func (c *campaign) burst(pi int, ph Phase, q int) error {
 	ch, ok := c.cs.(Churner)
 	if !ok {
@@ -631,10 +674,51 @@ func (c *campaign) burst(pi int, ph Phase, q int) error {
 		}
 		c.churnPool[pi] = pool
 	}
+	if ph.Churn.Sessions != nil {
+		return c.sessionBurst(pi, ph, q, ch)
+	}
 	rng := randx.NewDerived(c.seed, "campaign-churn", pi*1_000_000+q)
 	for _, id := range c.churnPool[pi] {
 		if randx.Bernoulli(rng, ph.Churn.Frac) {
 			ch.ResetNode(id)
+		}
+	}
+	return nil
+}
+
+// sessionBurst is the Pareto session-length path: the Bernoulli(Frac)
+// participant set and every participant's first session end are drawn once
+// from the phase's init stream (id-order sweep, so the draw is independent
+// of worker count); each firing then resets exactly the participants whose
+// deadline passed and advances their deadlines with fresh session lengths
+// from the per-(phase, period) stream. A node whose heavy tail would have
+// cycled more than once between barriers still resets once — barriers are
+// the only instants churn can act, so intra-period flaps are unobservable
+// by construction.
+func (c *campaign) sessionBurst(pi int, ph Phase, q int, ch Churner) error {
+	ses := ph.Churn.Sessions
+	if c.churnPart[pi] == nil {
+		rng := randx.NewDerived(c.seed, "campaign-churn-init", pi)
+		part := make([]int, 0, len(c.churnPool[pi]))
+		var deadlines []float64
+		for _, id := range c.churnPool[pi] {
+			if randx.Bernoulli(rng, ph.Churn.Frac) {
+				part = append(part, id)
+				deadlines = append(deadlines, float64(ph.At)+randx.Pareto(rng, ses.MinPeriods, ses.Alpha))
+			}
+		}
+		c.churnPart[pi] = part
+		c.churnDeadline[pi] = deadlines
+	}
+	rng := randx.NewDerived(c.seed, "campaign-churn", pi*1_000_000+q)
+	fq := float64(q)
+	for k, id := range c.churnPart[pi] {
+		if c.churnDeadline[pi][k] > fq {
+			continue
+		}
+		ch.ResetNode(id)
+		for c.churnDeadline[pi][k] <= fq {
+			c.churnDeadline[pi][k] += randx.Pareto(rng, ses.MinPeriods, ses.Alpha)
 		}
 	}
 	return nil

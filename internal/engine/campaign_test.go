@@ -45,6 +45,18 @@ func TestScheduleValidation(t *testing.T) {
 		{"rest outside partition", SystemVivaldi, onePhase(Phase{Churn: &PhaseChurn{
 			Frac: 0.1, Sel: Selector{Kind: SelRest},
 		}}), false},
+		{"session churn ok", SystemVivaldi, onePhase(Phase{At: 1, Until: 6, Churn: &PhaseChurn{
+			Frac: 0.2, Sessions: &ChurnSessions{Alpha: 1.5, MinPeriods: 1},
+		}}), true},
+		{"session churn bad alpha", SystemVivaldi, onePhase(Phase{At: 1, Until: 6, Churn: &PhaseChurn{
+			Frac: 0.2, Sessions: &ChurnSessions{Alpha: 0, MinPeriods: 1},
+		}}), false},
+		{"session churn bad min", SystemVivaldi, onePhase(Phase{At: 1, Until: 6, Churn: &PhaseChurn{
+			Frac: 0.2, Sessions: &ChurnSessions{Alpha: 1.5},
+		}}), false},
+		{"session churn no until", SystemVivaldi, onePhase(Phase{At: 1, Churn: &PhaseChurn{
+			Frac: 0.2, Sessions: &ChurnSessions{Alpha: 1.5, MinPeriods: 1},
+		}}), false},
 		{"nps attack ok", SystemNPS, onePhase(Phase{At: 1, Attack: disorder}), true},
 		{"nps churn rejected", SystemNPS, onePhase(Phase{Churn: &PhaseChurn{Frac: 0.1}}), false},
 		{"nps faults rejected", SystemNPS, onePhase(Phase{Faults: &FaultSpec{Loss: 0.1}}), false},
@@ -218,5 +230,52 @@ func TestCampaignFaultAccounting(t *testing.T) {
 	clean := ls.TakeNetStats()
 	if clean.Dropped != 0 {
 		t.Fatalf("restored network still dropped %d packets", clean.Dropped)
+	}
+}
+
+// TestSessionChurnDeterminism pins the Pareto session-length churn to the
+// engine's fixed-seed contract: the participant draw, every session
+// length, and therefore every reset all come from derived streams swept on
+// the unit's goroutine, so the series must be bit-identical at any worker
+// count — and the heavy-tailed schedule must actually reset nodes (the
+// series stays perturbed while the phase is active).
+func TestSessionChurnDeterminism(t *testing.T) {
+	sc := liveScale
+	sc.VivaldiConvergeTicks, sc.VivaldiAttackTicks, sc.MeasureEvery = 300, 600, 60
+
+	sched := &Schedule{Phases: []Phase{
+		{At: 1, Until: 9, Churn: &PhaseChurn{
+			Frac:     0.4,
+			Sessions: &ChurnSessions{Alpha: 1.5, MinPeriods: 1},
+		}},
+	}}
+	spec := ScenarioSpec{
+		Name: "sessions", Title: "pareto session churn", System: SystemVivaldi, Output: OutMeanVsTime,
+		Series: []SeriesSpec{
+			{Label: "stable", Runs: []RunSpec{{}}},
+			{Label: "pareto churn", Runs: []RunSpec{{Schedule: sched}}},
+		},
+	}
+	one, err := RunScenario(spec, sc, NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := RunScenario(spec, sc, NewPool(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatal("pareto session churn: series differ between 1 and 8 workers")
+	}
+
+	stable, churned := one.Series[0].Y, one.Series[1].Y
+	bumped := 0
+	for q := 2; q <= 9; q++ {
+		if churned[q] > stable[q]*1.05 {
+			bumped++
+		}
+	}
+	if bumped < 4 {
+		t.Errorf("session churn left the series unperturbed: only %d/8 active periods elevated", bumped)
 	}
 }

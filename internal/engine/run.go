@@ -425,6 +425,9 @@ func runUnit(kind SystemKind, r RunSpec, sc Scale, rep int, tp *Pool) unitResult
 			applyChurn(cs, r.ChurnFrac, churnSeed, sampleIdx, tp, malSet)
 		}
 		cs.Measure(peers, honest, tp, errs)
+		if sc.Observer != nil {
+			sc.Observer.OnBarrier(cs, r, rep, p)
+		}
 		mean := metrics.Mean(errs)
 		u.ticks = append(u.ticks, p)
 		u.meanErr = append(u.meanErr, mean)

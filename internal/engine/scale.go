@@ -46,6 +46,23 @@ type Scale struct {
 	// live` replays the paper's colluding-isolation figure over live
 	// virtual-UDP daemons.
 	Backend ExecBackend
+
+	// Observer, when set, is notified at every measurement barrier (see
+	// BarrierObserver). The serving layer hangs its snapshot publication
+	// off this hook.
+	Observer BarrierObserver
+}
+
+// BarrierObserver receives a callback at every measurement barrier of
+// every run unit, immediately after the accuracy sweep. The callback runs
+// serially on the unit's goroutine — the system is quiescent, so the
+// observer may read cs.Store() freely — but distinct units (reps, sweep
+// points) run concurrently, so an observer shared across a scenario must
+// be internally synchronized and should usually filter on rep. Observers
+// must treat the system as read-only: mutating it would break the engine's
+// fixed-seed determinism contract.
+type BarrierObserver interface {
+	OnBarrier(cs CoordSystem, r RunSpec, rep, tick int)
 }
 
 // Bench is the minimal scale used by the repository's benchmarks and fast

@@ -38,7 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k",
 		"attack25k", "live1740", "liveAttack", "live5k", "live25k",
 		"campaignPartition", "campaignLoss", "campaignChurn", "campaignFlash",
-		"campaignFull", "liveLoss",
+		"campaignServe", "campaignFull", "liveLoss",
 	}
 	for _, ext := range extras {
 		if _, ok := Get(ext); !ok {

@@ -615,6 +615,31 @@ func init() {
 		},
 	})
 
+	// campaignServe is the serving layer's stress workload: a disorder
+	// attack phase riding on continuous Pareto session churn, declared as
+	// a single series so a serve.BarrierPublisher installed as
+	// Scale.Observer sees one coherent epoch timeline. The tested metric
+	// is serve-side: per-epoch served-answer quality against the substrate
+	// must degrade during the attack phase and recover after removal (see
+	// internal/serve's campaign test and `vna-serve -campaign`).
+	engine.Register(engine.ScenarioSpec{
+		Name: "campaignServe", Figure: "Campaign serve",
+		Title:  "Served-answer quality under a disorder phase with Pareto session churn",
+		XLabel: "tick", YLabel: "average relative error",
+		System: engine.SystemVivaldi, Output: engine.OutMeanVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("disorder 30% @1→5 + pareto churn 10%", engine.RunSpec{
+				Schedule: &engine.Schedule{Phases: []engine.Phase{
+					disorderPhase(1, 5, 0.30),
+					{At: 1, Until: 1 << 20, Churn: &engine.PhaseChurn{
+						Frac:     0.10,
+						Sessions: &engine.ChurnSessions{Alpha: 1.5, MinPeriods: 1},
+					}},
+				}},
+			}),
+		},
+	})
+
 	engine.Register(engine.ScenarioSpec{
 		Name: "campaignFlash", Figure: "Campaign flash crowd",
 		Title:  "Vivaldi flash crowd: sustained join bursts vs a stable population",

@@ -223,6 +223,34 @@ func PercentileInto(xs []float64, p float64, buf []float64) float64 {
 	return quickselect(clean, nearestRank(p, len(clean)))
 }
 
+// Quantiles fills out[i] with the ps[i]-quantile of the non-NaN values and
+// returns out. The NaN filter is paid once into buf (grown only if
+// cap(buf) < len(xs)); each quantile is then one quickselect over the
+// clean copy — quickselect's partial reorder changes the order, never the
+// set, so later quantiles stay correct. For the serving layer's p50/p99
+// pairs over millions of latencies this is one copy instead of one per
+// quantile.
+func Quantiles(xs []float64, ps []float64, out []float64, buf []float64) []float64 {
+	clean := buf[:0]
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	for len(out) < len(ps) {
+		out = append(out, 0)
+	}
+	out = out[:len(ps)]
+	for i, p := range ps {
+		if len(clean) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = quickselect(clean, nearestRank(p, len(clean)))
+	}
+	return out
+}
+
 // nearestRank maps a quantile to an index in [0, n): round(p·(n−1)),
 // rounding half-up. Flooring here (the old behaviour) biased P90/P99 low
 // on small samples — e.g. P90 of 5 values picked index 3 instead of 4.

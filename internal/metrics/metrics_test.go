@@ -347,3 +347,28 @@ func TestSeries(t *testing.T) {
 		t.Fatal("empty series should yield NaN")
 	}
 }
+
+// TestQuantiles pins the batched quantile helper against PercentileInto:
+// one NaN filter, many ranks, same answers — and quickselect's partial
+// reordering between ranks must not change them.
+func TestQuantiles(t *testing.T) {
+	xs := []float64{9, 1, math.NaN(), 4, 7, 2, 8, 3, math.NaN(), 5, 6}
+	ps := []float64{0, 0.25, 0.5, 0.99, 1}
+	got := Quantiles(xs, ps, nil, nil)
+	for i, p := range ps {
+		want := Percentile(xs, p)
+		if got[i] != want {
+			t.Errorf("Quantiles p=%g: got %g, want %g", p, got[i], want)
+		}
+	}
+	if out := Quantiles(nil, []float64{0.5}, nil, nil); !math.IsNaN(out[0]) {
+		t.Errorf("Quantiles on empty input: got %g, want NaN", out[0])
+	}
+	// Caller-scratch reuse: warm out/buf must be reused, not grown.
+	out := make([]float64, 2)
+	buf := make([]float64, 0, len(xs))
+	res := Quantiles(xs, []float64{0.5, 0.99}, out, buf)
+	if &res[0] != &out[0] {
+		t.Error("Quantiles did not reuse the caller's out slice")
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+)
+
+// LoadGenConfig shapes a closed-loop query replay. The query *sequence* is
+// fully determined by Seed (per-reader derived streams), so answer-quality
+// statistics are reproducible against a fixed snapshot; only the timing
+// numbers depend on the host.
+type LoadGenConfig struct {
+	Queries int     // total queries across all readers (required, > 0)
+	Readers int     // concurrent reader goroutines (default 1)
+	RTTFrac float64 // fraction of EstimateRTT queries, rest NearestK (default 0.5)
+	Ks      []int   // NearestK k values, drawn uniformly (default {1, 4, 16})
+	Seed    int64   // root of the per-reader query streams
+
+	// QualityEvery samples NearestK ground-truth quality every Nth NN
+	// query per reader (default 64): the true-nearest check is an O(n)
+	// substrate row gather, so it is sampled rather than paid per query.
+	QualityEvery int
+}
+
+// LoadGenResult is one replay's record: throughput, latency quantiles, and
+// answer quality versus the substrate ground truth.
+type LoadGenResult struct {
+	Queries    int
+	RTTQueries int
+	NNQueries  int
+	Elapsed    time.Duration
+	QPS        float64
+	P50ns      float64
+	P99ns      float64
+
+	// MeanRelErr is the mean relative error of EstimateRTT answers against
+	// the substrate's true RTT (every RTT query contributes).
+	MeanRelErr float64
+	// NNStretch is the mean RTT stretch of the served nearest neighbor
+	// versus the true nearest (sampled every QualityEvery NN queries);
+	// 1.0 means the served answer is the true optimum.
+	NNStretch float64
+	NNSampled int
+
+	// EpochsSeen is the most distinct snapshot epochs any single reader
+	// observed — >1 proves queries ran across live epoch swaps.
+	EpochsSeen int
+}
+
+type readerStats struct {
+	lat        []float64
+	rttQ, nnQ  int
+	relSum     float64
+	relCnt     int
+	stretchSum float64
+	stretchCnt int
+	epochs     int
+}
+
+// RunLoadGen replays cfg.Queries mixed queries against the engine's
+// current snapshots from cfg.Readers goroutines and reports throughput,
+// latency and answer quality against sub. The engine must have published
+// at least once; publishing may continue concurrently (readers pick up new
+// epochs between queries, never mid-query).
+func RunLoadGen(eng *Engine, sub latency.Substrate, cfg LoadGenConfig) (LoadGenResult, error) {
+	if cfg.Queries <= 0 {
+		return LoadGenResult{}, fmt.Errorf("serve: loadgen needs Queries > 0")
+	}
+	first := eng.Current()
+	if first == nil {
+		return LoadGenResult{}, fmt.Errorf("serve: loadgen needs a published snapshot")
+	}
+	n := first.Len()
+	if n < 2 {
+		return LoadGenResult{}, fmt.Errorf("serve: loadgen needs a population of at least 2, got %d", n)
+	}
+	if sub.Size() != n {
+		return LoadGenResult{}, fmt.Errorf("serve: substrate size %d != population %d", sub.Size(), n)
+	}
+	readers := cfg.Readers
+	if readers <= 0 {
+		readers = 1
+	}
+	rttFrac := cfg.RTTFrac
+	if rttFrac == 0 {
+		rttFrac = 0.5
+	}
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = []int{1, 4, 16}
+	}
+	qualityEvery := cfg.QualityEvery
+	if qualityEvery <= 0 {
+		qualityEvery = 64
+	}
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+
+	// Shared read-only id list for ground-truth row gathers.
+	allIDs := make([]int, n)
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+
+	stats := make([]readerStats, readers)
+	var wg sync.WaitGroup
+	startAt := time.Now()
+	for w := 0; w < readers; w++ {
+		share := cfg.Queries / readers
+		if w < cfg.Queries%readers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			rng := randx.NewDerived(cfg.Seed, "loadgen-reader", w)
+			var sc Scratch
+			out := make([]Neighbor, 0, maxK)
+			row := make([]float64, n)
+			rs := &stats[w]
+			rs.lat = make([]float64, 0, share)
+			var lastEpoch uint64
+			for q := 0; q < share; q++ {
+				snap := eng.Current()
+				if ep := snap.Epoch(); ep != lastEpoch {
+					lastEpoch = ep
+					rs.epochs++
+				}
+				if rng.Float64() < rttFrac {
+					a := rng.Intn(n)
+					b := rng.Intn(n - 1)
+					if b >= a {
+						b++
+					}
+					t0 := time.Now()
+					est := snap.EstimateRTT(a, b)
+					rs.lat = append(rs.lat, float64(time.Since(t0).Nanoseconds()))
+					rs.rttQ++
+					if actual := sub.RTT(a, b); actual > 0 {
+						rs.relSum += metrics.RelativeError(actual, est)
+						rs.relCnt++
+					}
+				} else {
+					src := rng.Intn(n)
+					k := ks[rng.Intn(len(ks))]
+					t0 := time.Now()
+					out = snap.NearestK(src, k, &sc, out)
+					rs.lat = append(rs.lat, float64(time.Since(t0).Nanoseconds()))
+					rs.nnQ++
+					if rs.nnQ%qualityEvery == 0 && len(out) > 0 {
+						sub.RTTFrom(src, allIDs, row)
+						if st, ok := nnStretch(row, src, int(out[0].ID)); ok {
+							rs.stretchSum += st
+							rs.stretchCnt++
+						}
+					}
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(startAt)
+
+	res := LoadGenResult{Queries: cfg.Queries, Elapsed: elapsed}
+	var all []float64
+	relSum, stretchSum := 0.0, 0.0
+	relCnt, stretchCnt := 0, 0
+	for i := range stats {
+		rs := &stats[i]
+		all = append(all, rs.lat...)
+		res.RTTQueries += rs.rttQ
+		res.NNQueries += rs.nnQ
+		relSum += rs.relSum
+		relCnt += rs.relCnt
+		stretchSum += rs.stretchSum
+		stretchCnt += rs.stretchCnt
+		if rs.epochs > res.EpochsSeen {
+			res.EpochsSeen = rs.epochs
+		}
+	}
+	if elapsed > 0 {
+		res.QPS = float64(cfg.Queries) / elapsed.Seconds()
+	}
+	qs := metrics.Quantiles(all, []float64{0.5, 0.99}, make([]float64, 2), nil)
+	res.P50ns, res.P99ns = qs[0], qs[1]
+	if relCnt > 0 {
+		res.MeanRelErr = relSum / float64(relCnt)
+	}
+	if stretchCnt > 0 {
+		res.NNStretch = stretchSum / float64(stretchCnt)
+	}
+	res.NNSampled = stretchCnt
+	return res, nil
+}
+
+// nnStretch computes the RTT stretch of the served neighbor against the
+// true nearest from a gathered substrate row (non-positive entries are
+// unmeasured and skipped).
+func nnStretch(row []float64, src, served int) (float64, bool) {
+	best := math.Inf(1)
+	for j, rtt := range row {
+		if j != src && rtt > 0 && rtt < best {
+			best = rtt
+		}
+	}
+	servedRTT := row[served]
+	if math.IsInf(best, 1) || servedRTT <= 0 {
+		return 0, false
+	}
+	return servedRTT / best, true
+}
+
+// Quality is one snapshot's deterministic answer-quality probe (see
+// MeasureSnapshot).
+type Quality struct {
+	// RTTRelErr is the mean relative error of EstimateRTT over the seeded
+	// pair sample.
+	RTTRelErr float64
+	// NNStretch is the mean served-vs-true nearest-neighbor RTT stretch
+	// over the seeded source sample (NaN when nnProbes is 0).
+	NNStretch float64
+}
+
+// MeasureSnapshot deterministically measures served-answer quality against
+// the substrate ground truth on one fixed snapshot: `pairs` seeded
+// EstimateRTT probes and `nnProbes` seeded NearestK(·, 1) probes. Unlike
+// the load generator it involves no timing and no concurrency, so a fixed
+// (snapshot, seed) yields bit-identical Quality — the campaignServe
+// degradation series is built from these.
+func MeasureSnapshot(snap *Snapshot, sub latency.Substrate, pairs, nnProbes int, seed int64, sc *Scratch) Quality {
+	n := snap.Len()
+	q := Quality{RTTRelErr: math.NaN(), NNStretch: math.NaN()}
+	if n < 2 {
+		return q
+	}
+	rng := randx.New(seed)
+	relSum, relCnt := 0.0, 0
+	for i := 0; i < pairs; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		if actual := sub.RTT(a, b); actual > 0 {
+			relSum += metrics.RelativeError(actual, snap.EstimateRTT(a, b))
+			relCnt++
+		}
+	}
+	if relCnt > 0 {
+		q.RTTRelErr = relSum / float64(relCnt)
+	}
+	if nnProbes > 0 {
+		allIDs := make([]int, n)
+		for i := range allIDs {
+			allIDs[i] = i
+		}
+		row := make([]float64, n)
+		out := make([]Neighbor, 0, 1)
+		stretchSum, stretchCnt := 0.0, 0
+		for i := 0; i < nnProbes; i++ {
+			src := rng.Intn(n)
+			out = snap.NearestK(src, 1, sc, out)
+			if len(out) == 0 {
+				continue
+			}
+			sub.RTTFrom(src, allIDs, row)
+			if st, ok := nnStretch(row, src, int(out[0].ID)); ok {
+				stretchSum += st
+				stretchCnt++
+			}
+		}
+		if stretchCnt > 0 {
+			q.NNStretch = stretchSum / float64(stretchCnt)
+		}
+	}
+	return q
+}

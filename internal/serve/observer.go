@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"repro/internal/engine"
+)
+
+// BarrierPublisher adapts an Engine to the engine's measurement-barrier
+// hook (engine.BarrierObserver): install it as Scale.Observer and every
+// barrier of the chosen repetition publishes a fresh snapshot. Reps other
+// than Rep are ignored — a scenario runs its repetitions concurrently, and
+// a served epoch stream must come from one coherent timeline.
+type BarrierPublisher struct {
+	Eng *Engine
+	Rep int // repetition to publish from (usually 0)
+
+	// OnPublish, when set, runs after each publication, still on the run
+	// unit's goroutine — the per-epoch hook campaignServe uses to measure
+	// served-answer quality against the unit's substrate.
+	OnPublish func(snap *Snapshot, cs engine.CoordSystem, rep, tick int)
+}
+
+// OnBarrier implements engine.BarrierObserver.
+func (p *BarrierPublisher) OnBarrier(cs engine.CoordSystem, r engine.RunSpec, rep, tick int) {
+	if rep != p.Rep {
+		return
+	}
+	snap := p.Eng.Publish(cs.Store(), tick)
+	if p.OnPublish != nil {
+		p.OnPublish(snap, cs, rep, tick)
+	}
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/coordspace"
+	"repro/internal/latency"
+	"repro/internal/randx"
+)
+
+// randomStore fills an n-slot store with RandomAt draws from a seeded
+// stream.
+func randomStore(space coordspace.Space, n int, seed int64) *coordspace.Store {
+	st := coordspace.NewStore(space, n)
+	rng := randx.New(seed)
+	for i := 0; i < n; i++ {
+		st.RandomAt(i, rng, 120)
+	}
+	return st
+}
+
+func publish(t *testing.T, st *coordspace.Store) *Snapshot {
+	t.Helper()
+	return NewEngine().Publish(st, 0)
+}
+
+// TestNearestKMatchesLinear is the index-vs-oracle property test: over
+// random populations (with and without the height dimension), every grid
+// answer must be bit-identical to the linear scan — same ids, same
+// distances, same ascending order, same lower-id tie-breaks.
+func TestNearestKMatchesLinear(t *testing.T) {
+	spaces := []coordspace.Space{
+		coordspace.Euclidean(2),
+		coordspace.Euclidean(5),
+		coordspace.EuclideanHeight(2),
+	}
+	sizes := []int{2, 3, 17, 120, 400}
+	var sc, scLin Scratch
+	for si, space := range spaces {
+		for _, n := range sizes {
+			st := randomStore(space, n, int64(100*si+n))
+			// Duplicated coordinates force exact distance ties.
+			for _, dup := range []int{n / 3, n / 2, n - 1} {
+				if dup > 0 {
+					st.CopySlotFrom(dup, st, 0)
+				}
+			}
+			snap := publish(t, st)
+			var got, want []Neighbor
+			for _, k := range []int{1, 4, 16} {
+				for node := 0; node < n; node++ {
+					got = snap.NearestK(node, k, &sc, got)
+					want = snap.NearestKLinear(node, k, &scLin, want)
+					if len(got) != len(want) {
+						t.Fatalf("%s n=%d k=%d node=%d: grid %d results, linear %d",
+							space.Name(), n, k, node, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s n=%d k=%d node=%d result %d: grid %+v, linear %+v",
+								space.Name(), n, k, node, i, got[i], want[i])
+						}
+					}
+					for i := 1; i < len(got); i++ {
+						if heapWorse(got[i-1].Dist, got[i-1].ID, got[i].Dist, got[i].ID) {
+							t.Fatalf("%s n=%d k=%d node=%d: results out of order at %d: %+v", space.Name(), n, k, node, i, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNearestKDegenerate covers the single-cell grid: a genesis population
+// with every node at the origin has a zero-extent bounding box, and the
+// query must still answer — k lowest ids, all at the same distance.
+func TestNearestKDegenerate(t *testing.T) {
+	st := coordspace.NewStore(coordspace.EuclideanHeight(2), 50)
+	snap := publish(t, st)
+	var sc Scratch
+	out := snap.NearestK(7, 4, &sc, nil)
+	wantIDs := []int32{0, 1, 2, 3}
+	if len(out) != 4 {
+		t.Fatalf("got %d results, want 4", len(out))
+	}
+	for i, nb := range out {
+		if nb.ID != wantIDs[i] {
+			t.Fatalf("degenerate population: got ids %v, want %v", out, wantIDs)
+		}
+		if want := st.Dist(7, int(nb.ID)); nb.Dist != want {
+			t.Fatalf("degenerate population: dist %g, want %g", nb.Dist, want)
+		}
+	}
+}
+
+// TestNearestKEdges pins the boundary behavior: k clamps to the
+// population, bad arguments yield empty results, and out reuse resets
+// length.
+func TestNearestKEdges(t *testing.T) {
+	st := randomStore(coordspace.Euclidean(2), 5, 3)
+	snap := publish(t, st)
+	var sc Scratch
+	if out := snap.NearestK(0, 100, &sc, nil); len(out) != 4 {
+		t.Fatalf("k clamp: got %d results, want 4 (n-1)", len(out))
+	}
+	stale := []Neighbor{{ID: 99, Dist: -1}}
+	for _, bad := range []struct{ node, k int }{{0, 0}, {0, -2}, {-1, 3}, {5, 3}} {
+		if out := snap.NearestK(bad.node, bad.k, &sc, stale); len(out) != 0 {
+			t.Fatalf("NearestK(%d, %d) returned %v, want empty", bad.node, bad.k, out)
+		}
+	}
+	one := publish(t, coordspace.NewStore(coordspace.Euclidean(2), 1))
+	if out := one.NearestK(0, 3, &sc, nil); len(out) != 0 {
+		t.Fatalf("population of one returned neighbors: %v", out)
+	}
+}
+
+// TestEngineStats pins the publication counters and the max-staleness
+// bookkeeping (widest tick gap between consecutive epochs).
+func TestEngineStats(t *testing.T) {
+	eng := NewEngine()
+	if s := eng.Stats(); s.Published != 0 || s.Tick != -1 {
+		t.Fatalf("fresh engine stats: %+v", s)
+	}
+	if eng.Current() != nil {
+		t.Fatal("fresh engine has a snapshot")
+	}
+	st := randomStore(coordspace.Euclidean(2), 10, 1)
+	for _, tick := range []int{100, 250, 400} {
+		eng.Publish(st, tick)
+	}
+	s := eng.Stats()
+	if s.Published != 3 || s.Epoch != 3 || s.Tick != 400 || s.MaxStalenessTicks != 150 {
+		t.Fatalf("stats after three publishes: %+v", s)
+	}
+	if ep := eng.Current().Epoch(); ep != 3 {
+		t.Fatalf("current epoch %d, want 3", ep)
+	}
+}
+
+// answerKey folds a query answer into a comparable string, so per-epoch
+// answers can be checked for bit-identity.
+func answerKey(nbs []Neighbor) string {
+	s := ""
+	for _, nb := range nbs {
+		s += fmt.Sprintf("%d:%b;", nb.ID, math.Float64bits(nb.Dist))
+	}
+	return s
+}
+
+// TestSnapshotConcurrency is the epoch-swap race test: reader goroutines
+// query continuously while the writer publishes a run of epochs from a
+// mutating store. Every answer a reader computes must be bit-identical to
+// the answer the same epoch's retained snapshot gives after the dust
+// settles — readers can never observe a half-published or mutated
+// snapshot. Run under -race this also proves the pointer-swap discipline.
+func TestSnapshotConcurrency(t *testing.T) {
+	const (
+		nodes  = 300
+		epochs = 6
+		qNode  = 11
+		qK     = 8
+	)
+	live := randomStore(coordspace.EuclideanHeight(2), nodes, 42)
+	eng := NewEngine()
+	retained := make([]*Snapshot, epochs+1) // indexed by epoch, filled by the writer
+	retained[1] = eng.Publish(live, 0)
+
+	type obs struct {
+		epoch uint64
+		key   string
+	}
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+	results := make([][]obs, 4)
+	stop := make(chan struct{})
+	for w := range results {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sc Scratch
+			var out []Neighbor
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := eng.Current()
+				out = snap.NearestK(qNode, qK, &sc, out)
+				results[w] = append(results[w], obs{snap.Epoch(), answerKey(out)})
+				queries.Add(1)
+			}
+		}(w)
+	}
+
+	// The writer keeps mutating the live store and publishing: epoch e's
+	// snapshot must stay frozen no matter what happens to the store after.
+	// It paces itself on reader progress (GOMAXPROCS may be 1, so an
+	// unpaced writer could finish before any reader is ever scheduled).
+	rng := randx.New(7)
+	for e := 2; e <= epochs; e++ {
+		for target := queries.Load() + 50; queries.Load() < target; {
+			runtime.Gosched()
+		}
+		for i := 0; i < nodes; i++ {
+			live.RandomAt(i, rng, 120)
+		}
+		retained[e] = eng.Publish(live, (e-1)*100)
+	}
+	for target := queries.Load() + 50; queries.Load() < target; {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+
+	var sc Scratch
+	var out []Neighbor
+	want := make(map[uint64]string)
+	for e := 1; e <= epochs; e++ {
+		out = retained[e].NearestK(qNode, qK, &sc, out)
+		want[uint64(e)] = answerKey(out)
+	}
+	seen := make(map[uint64]bool)
+	for w, rs := range results {
+		for _, o := range rs {
+			if o.key != want[o.epoch] {
+				t.Fatalf("reader %d: epoch %d answer drifted:\n got %s\nwant %s", w, o.epoch, o.key, want[o.epoch])
+			}
+			seen[o.epoch] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("readers observed only %d distinct epochs, want >= 3 (swap race untested)", len(seen))
+	}
+}
+
+// TestLoadGenDeterministicQuality runs the generator twice against one
+// fixed snapshot: the seeded query streams make the quality statistics
+// (not the timings) bit-identical, and the mixed-query bookkeeping must
+// add up.
+func TestLoadGenDeterministicQuality(t *testing.T) {
+	const n = 256
+	sub := latency.NewKingLikeModel(latency.DefaultKingLike(n), 5)
+	st := randomStore(coordspace.EuclideanHeight(2), n, 8)
+	eng := NewEngine()
+	eng.Publish(st, 0)
+
+	cfg := LoadGenConfig{Queries: 20_000, Readers: 4, Seed: 31, QualityEvery: 16}
+	a, err := RunLoadGen(eng, sub, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoadGen(eng, sub, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RTTQueries+a.NNQueries != cfg.Queries {
+		t.Fatalf("query split %d+%d != %d", a.RTTQueries, a.NNQueries, cfg.Queries)
+	}
+	if a.RTTQueries != b.RTTQueries || a.NNQueries != b.NNQueries {
+		t.Fatalf("query mix not deterministic: %+v vs %+v", a, b)
+	}
+	if a.MeanRelErr != b.MeanRelErr || a.NNStretch != b.NNStretch || a.NNSampled != b.NNSampled {
+		t.Fatalf("quality stats not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.EpochsSeen != 1 {
+		t.Fatalf("EpochsSeen %d on a single-epoch engine, want 1", a.EpochsSeen)
+	}
+	if a.QPS <= 0 || a.P50ns <= 0 || a.P99ns < a.P50ns {
+		t.Fatalf("implausible timing stats: %+v", a)
+	}
+	if a.NNStretch < 1 {
+		t.Fatalf("NN stretch %g < 1: served neighbor beat the true optimum", a.NNStretch)
+	}
+	if a.NNSampled == 0 {
+		t.Fatal("no NN quality samples taken")
+	}
+}
+
+// TestMeasureSnapshotDeterministic pins the per-epoch probe used by the
+// campaign test: fixed (snapshot, seed) must reproduce bit-identically.
+func TestMeasureSnapshotDeterministic(t *testing.T) {
+	const n = 128
+	sub := latency.NewKingLikeModel(latency.DefaultKingLike(n), 3)
+	snap := publish(t, randomStore(coordspace.EuclideanHeight(2), n, 4))
+	var sc Scratch
+	a := MeasureSnapshot(snap, sub, 300, 40, 17, &sc)
+	b := MeasureSnapshot(snap, sub, 300, 40, 17, &sc)
+	if a != b {
+		t.Fatalf("probe not deterministic: %+v vs %+v", a, b)
+	}
+	if math.IsNaN(a.RTTRelErr) || math.IsNaN(a.NNStretch) {
+		t.Fatalf("probe produced no samples: %+v", a)
+	}
+}

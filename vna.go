@@ -45,6 +45,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/metrics"
 	"repro/internal/nps"
+	"repro/internal/serve"
 	"repro/internal/vivaldi"
 )
 
@@ -297,6 +298,27 @@ type UDPNode = daemon.Node
 // NewUDPNode starts a live Vivaldi daemon. Close it to release the socket
 // and its goroutines.
 func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) { return daemon.New(cfg) }
+
+// Coordinate query service (internal/serve).
+
+// ServeEngine publishes immutable coordinate snapshots for lock-free
+// high-throughput queries (EstimateRTT, NearestK) while a simulation
+// keeps ticking.
+type ServeEngine = serve.Engine
+
+// ServeSnapshot is one immutable published view of the population.
+type ServeSnapshot = serve.Snapshot
+
+// ServeScratch is the caller-owned query scratch (one per reader
+// goroutine) that makes the query path allocation-free.
+type ServeScratch = serve.Scratch
+
+// ServeNeighbor is one NearestK result.
+type ServeNeighbor = serve.Neighbor
+
+// NewServeEngine returns an empty query engine; publish a system's Store
+// at each measurement barrier and query the returned snapshots.
+func NewServeEngine() *ServeEngine { return serve.NewEngine() }
 
 // Experiments lists every registered figure reproduction, sorted by ID.
 // Every entry is a declarative scenario of the unified engine
