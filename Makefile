@@ -35,6 +35,7 @@ smoke:
 	go run ./cmd/vna-sim -list | grep '^campaignFull ' > /dev/null
 	go run ./cmd/vna-sim -list | grep '^campaignServe ' > /dev/null
 	go run ./cmd/vna-sim -list | grep '^liveLoss ' > /dev/null
+	go run ./cmd/vna-sim -list | grep '^npsScale25k ' > /dev/null
 	go run ./cmd/vna-serve -loadgen -nodes 500 -converge 50 -queries 20000 > /dev/null
 
 # Runs the full benchmark suite with allocation stats and tees the raw
@@ -75,11 +76,21 @@ bench-serve:
 # 0 today; the ceiling of 8 leaves room for incidental runtime noise while
 # still catching any per-candidate or per-result allocation (k=16 results
 # at 50k nodes would blow straight through it).
+#
+# The NPS positioning round carries the fourth guard: a warm round at the
+# paper's 1740 nodes (BenchmarkNPSPosition1740 — batched probe gather,
+# arena-backed samples, per-shard solver scratch) measures ~60 allocs/op
+# today, all of it the security filter's elimination trickle. The ceiling
+# of 512 leaves room for elimination-heavy rounds while catching any
+# per-probe (~34 000 probes) or per-solve (~1700 solves) allocation.
+# BenchmarkNPSScale25k rides along unguarded so the guard artifact records
+# the construction time next to the round cost (BENCH_engine.json).
 TICK_ALLOC_CEILING  ?= 64
 SERVE_ALLOC_CEILING ?= 8
+NPS_ALLOC_CEILING   ?= 512
 BENCH_GUARD_FILE    ?= bench_guard.txt
 bench-guard:
-	go test -run '^$$' -bench 'BenchmarkTickSharded5k|BenchmarkLiveTick1740|BenchmarkServeNearestK50k|BenchmarkRTTPairsPacked|BenchmarkRTTPairsDense|BenchmarkMeasure25kModel|BenchmarkSubstrate' \
+	go test -run '^$$' -bench 'BenchmarkTickSharded5k|BenchmarkLiveTick1740|BenchmarkServeNearestK50k|BenchmarkRTTPairsPacked|BenchmarkRTTPairsDense|BenchmarkMeasure25kModel|BenchmarkSubstrate|BenchmarkNPSScale25k|BenchmarkNPSPosition1740' \
 		-benchmem -benchtime 1x . | tee bench_guard.txt
 	@$(MAKE) --no-print-directory bench-check BENCH_GUARD_FILE=bench_guard.txt
 
@@ -96,6 +107,11 @@ bench-check:
 		if (allocs+0 > $(SERVE_ALLOC_CEILING)) { \
 			printf "FAIL: serve k-NN query allocates %s allocs/op (ceiling $(SERVE_ALLOC_CEILING))\n", allocs; exit 1 } \
 		else printf "OK: serve k-NN query %s allocs/op (ceiling $(SERVE_ALLOC_CEILING))\n", allocs } \
+		/^BenchmarkNPSPosition1740/ { nfound=1; allocs=$$(NF-1); \
+		if (allocs+0 > $(NPS_ALLOC_CEILING)) { \
+			printf "FAIL: NPS positioning round allocates %s allocs/op (ceiling $(NPS_ALLOC_CEILING))\n", allocs; exit 1 } \
+		else printf "OK: NPS positioning round %s allocs/op (ceiling $(NPS_ALLOC_CEILING))\n", allocs } \
 		END { if (!found) { print "FAIL: BenchmarkTickSharded5k missing from $(BENCH_GUARD_FILE)"; exit 1 } \
 		if (!lfound) { print "FAIL: BenchmarkLiveTick1740 missing from $(BENCH_GUARD_FILE)"; exit 1 } \
-		if (!sfound) { print "FAIL: BenchmarkServeNearestK50k missing from $(BENCH_GUARD_FILE)"; exit 1 } }' $(BENCH_GUARD_FILE)
+		if (!sfound) { print "FAIL: BenchmarkServeNearestK50k missing from $(BENCH_GUARD_FILE)"; exit 1 } \
+		if (!nfound) { print "FAIL: BenchmarkNPSPosition1740 missing from $(BENCH_GUARD_FILE)"; exit 1 } }' $(BENCH_GUARD_FILE)

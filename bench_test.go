@@ -288,9 +288,11 @@ func BenchmarkLiveTick5k(b *testing.B) {
 }
 
 // BenchmarkNPSScale25k measures NPS system construction at 25 000 nodes on
-// the model substrate. Construction is dominated by landmark selection,
-// whose batched RTTFrom row gathers (replacing O(n²) per-element interface
-// dispatches) are what make the hierarchy buildable at this scale.
+// the model substrate — the workload behind the npsScale25k/npsAttack25k
+// specs. Above gnp.LandmarkCandidateCap the landmark selection's greedy
+// max-min runs on a deterministic candidate sample instead of the full
+// population, which removed the O(n²) footprint pass (87% of the 22.8 s
+// this bench recorded before; see BENCH_engine.json).
 func BenchmarkNPSScale25k(b *testing.B) {
 	const n = 25000
 	mo := latency.NewKingLikeModel(latency.DefaultKingLike(n), 1)
@@ -300,6 +302,26 @@ func BenchmarkNPSScale25k(b *testing.B) {
 		if sys := nps.NewSystem(mo, nps.Config{}, 1); sys == nil {
 			b.Fatal("nil system")
 		}
+	}
+}
+
+// BenchmarkNPSPosition1740 measures one steady-state NPS positioning round
+// at the paper's 1740 nodes with the security filter on: the serial probe
+// sweep (batched RTT rows, arena-backed coordinate copies) plus the
+// sharded filter + Simplex solve phase running on per-shard scratch. Its
+// allocs/op is guarded in CI (NPS_ALLOC_CEILING): a warm round's remaining
+// allocations are the trickle of security eliminations (lazily created ban
+// maps and reference-set rebuilds), so a per-probe or per-solve allocation
+// at 1740 nodes would blow through the ceiling by orders of magnitude.
+func BenchmarkNPSPosition1740(b *testing.B) {
+	sys := nps.NewSystem(benchMatrix(1740), nps.Config{Security: true, ProbeThresholdMS: 5000}, 1)
+	pool := engine.NewPool(8)
+	sys.StepParallel(pool)
+	sys.StepParallel(pool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.StepParallel(pool)
 	}
 }
 

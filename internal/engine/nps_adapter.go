@@ -20,6 +20,13 @@ func NewNPS(m latency.Substrate, cfg nps.Config, seed int64) CoordSystem {
 	return &npsAdapter{sys: nps.NewSystem(m, cfg, seed)}
 }
 
+// NewNPSSharded is NewNPS with construction sharded across sh (per-node
+// RNG stream derivation fans out; see nps.NewSystemSharded). Construction
+// is bit-identical for any worker count, like every sharded engine path.
+func NewNPSSharded(m latency.Substrate, cfg nps.Config, seed int64, sh Sharder) CoordSystem {
+	return &npsAdapter{sys: nps.NewSystemSharded(m, cfg, seed, sh)}
+}
+
 func (a *npsAdapter) Kind() SystemKind             { return SystemNPS }
 func (a *npsAdapter) Size() int                    { return a.sys.Size() }
 func (a *npsAdapter) Space() coordspace.Space      { return a.sys.Space() }

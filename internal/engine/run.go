@@ -288,7 +288,7 @@ func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed
 		if r.Dims > 0 {
 			cfg.Space = coordspace.Euclidean(r.Dims)
 		}
-		return NewNPS(m, cfg, seed), nil
+		return NewNPSSharded(m, cfg, seed, sh), nil
 	}
 	return nil, fmt.Errorf("engine: unknown system %q", kind)
 }

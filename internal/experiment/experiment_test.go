@@ -36,7 +36,8 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	extras := []string{
 		"extA", "extB", "extC", "scale5k", "scale10k", "scale25k", "scale50k",
-		"attack25k", "live1740", "liveAttack", "live5k", "live25k",
+		"attack25k", "npsScale25k", "npsAttack25k",
+		"live1740", "liveAttack", "live5k", "live25k",
 		"campaignPartition", "campaignLoss", "campaignChurn", "campaignFlash",
 		"campaignServe", "campaignFull", "liveLoss",
 	}
@@ -528,5 +529,76 @@ func TestFig25VictimSeriesNonEmpty(t *testing.T) {
 func TestPercentLabel(t *testing.T) {
 	if percentLabel(0.3) != "30%" {
 		t.Fatal(percentLabel(0.3))
+	}
+}
+
+// TestNPSDeterminism25kAcrossWorkers extends the worker-count contract to
+// the layered system at scale: npsScale25k runs sampled landmark
+// selection, sharded construction, and the two-phase positioning round
+// (serial probe sweep, sharded filter + solve on per-shard scratch) at
+// 25 000 nodes, and the results must be bit-identical between 1 and 8
+// workers. Like TestDeterminism25kAcrossWorkers it stays in -short: the
+// model substrate and the trimmed solve budget keep the run test-sized,
+// and the sharded NPS paths are exactly what the trim does not bypass.
+func TestNPSDeterminism25kAcrossWorkers(t *testing.T) {
+	p := det25kPreset
+	p.NPSSolveIterations = 32
+	one, err := RunWith("npsScale25k", p, 1)
+	if err != nil {
+		t.Fatalf("npsScale25k workers=1: %v", err)
+	}
+	eight, err := RunWith("npsScale25k", p, 8)
+	if err != nil {
+		t.Fatalf("npsScale25k workers=8: %v", err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Error("npsScale25k: results differ between 1 and 8 workers")
+	}
+	if len(one.Series) != 1 || len(one.Series[0].Y) == 0 {
+		t.Fatalf("npsScale25k produced no samples")
+	}
+	for k, y := range one.Series[0].Y {
+		if math.IsNaN(y) {
+			t.Fatalf("npsScale25k: NaN at sample %d", k)
+		}
+	}
+}
+
+// cdfMedian reads the median off a cdfSeries: the X value where the
+// cumulative fraction first reaches one half.
+func cdfMedian(s Series) float64 {
+	for k, y := range s.Y {
+		if y >= 0.5 {
+			return s.X[k]
+		}
+	}
+	return math.NaN()
+}
+
+// TestNPSAttack25kDegrades replays the fig21 check at 25 000 nodes: the
+// sophisticated anti-detection mix must shift the final-error CDF right of
+// the clean run, with more attackers shifting it further — the paper's
+// degradation ordering (clean < 10% < 30%) at 14× its population.
+func TestNPSAttack25kDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("25k-node attack run")
+	}
+	p := det25kPreset
+	p.NPSSolveIterations = 32
+	r, err := RunWith("npsAttack25k", p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("npsAttack25k series %d, want 3", len(r.Series))
+	}
+	clean := cdfMedian(r.Series[0])
+	ten := cdfMedian(r.Series[1])
+	thirty := cdfMedian(r.Series[2])
+	if !(ten > clean) {
+		t.Errorf("10%% attackers: median error %.4f not above clean %.4f", ten, clean)
+	}
+	if !(thirty > ten) {
+		t.Errorf("30%% attackers: median error %.4f not above 10%% %.4f", thirty, ten)
 	}
 }

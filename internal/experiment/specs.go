@@ -515,6 +515,44 @@ func init() {
 		System: engine.SystemVivaldi, Output: engine.OutRatioVsTime, Series: attack25k,
 	})
 
+	// npsScale25k and npsAttack25k are the NPS analogues: the layered
+	// system with the security filter on, at 25 000 nodes on the model
+	// substrate. NPS construction is where scale used to hurt — landmark
+	// selection alone was quadratic in the population — so npsScale25k
+	// doubles as the regression workload for the sharded-construction and
+	// allocation-free positioning path (BenchmarkNPSScale25k,
+	// BenchmarkNPSPosition1740, BENCH_engine.json). npsAttack25k replays
+	// the fig21 sophisticated anti-detection mix at the same scale to
+	// check that the paper's degradation ordering (clean < 10% < 30%)
+	// survives 14× beyond its population.
+	engine.Register(engine.ScenarioSpec{
+		Name: "npsScale25k", Figure: "Scaling NPS 25000",
+		Title:  "NPS at 25k nodes (model substrate): clean convergence, security filter on",
+		XLabel: "round", YLabel: "average relative error",
+		System: engine.SystemNPS, Output: engine.OutMeanVsTime,
+		Series: []engine.SeriesSpec{
+			oneRun("clean", engine.RunSpec{
+				Nodes: 25000, Substrate: latency.BackendModel, Security: true,
+			}),
+		},
+	})
+
+	npsAtk25k := []engine.SeriesSpec{oneRun("clean", engine.RunSpec{
+		Nodes: 25000, Substrate: latency.BackendModel, Security: true,
+	})}
+	for _, frac := range []float64{0.10, 0.30} {
+		npsAtk25k = append(npsAtk25k, oneRun(percentLabel(frac), engine.RunSpec{
+			Nodes: 25000, Substrate: latency.BackendModel,
+			Frac: frac, Attack: npsSophisticated(0.5), Security: true,
+		}))
+	}
+	engine.Register(engine.ScenarioSpec{
+		Name: "npsAttack25k", Figure: "Scaling NPS attack 25000",
+		Title:  "NPS sophisticated anti-detection at 25k nodes: CDF of relative errors",
+		XLabel: "relative error", YLabel: "cumulative fraction",
+		System: engine.SystemNPS, Output: engine.OutFinalCDF, Series: npsAtk25k,
+	})
+
 	// live5k and live25k push the live backend past the paper's 1740-node
 	// population: the fig09 colluding-isolation workload over actual
 	// wire-protocol exchange, with the population pinned (RunSpec.Nodes)

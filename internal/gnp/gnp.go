@@ -17,6 +17,7 @@ package gnp
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/coordspace"
 	"repro/internal/latency"
@@ -102,6 +103,87 @@ func positionHost(obj func([]float64) float64, space coordspace.Space, anchors [
 	return coordspace.Coord{V: res.X}, res.F
 }
 
+// flatObjective is the allocation-free form of Objective /
+// ObjectiveAbsolute: the anchor coordinates live in one flat buffer of k
+// rows × space.Dims floats instead of k Coord values, and the struct
+// implements optimize.Objective so re-aiming it at new data is two slice
+// assignments rather than a closure allocation. Heights are ignored —
+// flat positioning is defined for height-less spaces only (NPS enforces
+// this), where Space.Dist never reads Coord.H, so the arithmetic is
+// identical to the closure forms.
+type flatObjective struct {
+	space    coordspace.Space
+	anchors  []float64 // k rows of space.Dims floats
+	rtts     []float64 // k measured RTTs; non-positive entries are skipped
+	relative bool      // relative (GNP) vs absolute (NPS default) errors
+}
+
+// Eval implements optimize.Objective.
+func (o *flatObjective) Eval(x []float64) float64 {
+	c := coordspace.Coord{V: x}
+	dims := o.space.Dims
+	sum := 0.0
+	for k, r := range o.rtts {
+		if r <= 0 {
+			continue
+		}
+		a := coordspace.Coord{V: o.anchors[k*dims : (k+1)*dims]}
+		if o.relative {
+			rel := (o.space.Dist(c, a) - r) / r
+			sum += rel * rel
+		} else {
+			diff := o.space.Dist(c, a) - r
+			sum += diff * diff
+		}
+	}
+	return sum
+}
+
+// HostSolver is the reusable host-positioning kernel: it owns the simplex
+// solver scratch, the start-point buffer and the flat objective, so a warm
+// HostSolver positions a host with zero heap allocations. Not safe for
+// concurrent use — NPS keeps one per shard.
+type HostSolver struct {
+	simplex optimize.Solver
+	x0      []float64
+	obj     flatObjective
+}
+
+// Position solves for a host position against k anchors stored as k
+// consecutive rows of space.Dims floats in anchors, under the absolute
+// objective (relative=false, the NPS default) or GNP's relative one. The
+// jitter draw order, objective arithmetic and solver iterate sequence
+// match PositionHostAbsolute / PositionHostIter exactly. The returned
+// coordinate aliases solver scratch: it is valid until the next Position
+// call, and callers that retain it must copy it out. Height-less spaces
+// only.
+func (hs *HostSolver) Position(space coordspace.Space, anchors []float64, rtts []float64, relative bool, start coordspace.Coord, rng *rand.Rand, maxIter int) (coordspace.Coord, float64) {
+	if space.HasHeight {
+		panic("gnp: flat host positioning is defined for height-less spaces only")
+	}
+	if len(anchors) != len(rtts)*space.Dims {
+		panic("gnp: anchors and rtts length mismatch")
+	}
+	if cap(hs.x0) < space.Dims {
+		hs.x0 = make([]float64, space.Dims)
+	}
+	x0 := hs.x0[:space.Dims]
+	// Zero-fill past a short start vector (a fresh make in the closure
+	// path) so buffer reuse cannot leak a previous start point.
+	for i := copy(x0, start.V); i < len(x0); i++ {
+		x0[i] = 0
+	}
+	for i := range x0 {
+		x0[i] += rng.NormFloat64() * 0.5
+	}
+	hs.obj = flatObjective{space: space, anchors: anchors, rtts: rtts, relative: relative}
+	res := hs.simplex.Minimize(&hs.obj, x0, optimize.Options{
+		MaxIter:  maxIter,
+		InitStep: 25,
+	})
+	return coordspace.Coord{V: res.X}, res.F
+}
+
 // SelectLandmarks picks k "well separated" landmarks from the matrix by
 // greedy max-min RTT (k-center): the first landmark is the node with the
 // largest median RTT footprint, each subsequent one maximizes the minimum
@@ -117,15 +199,54 @@ func SelectLandmarks(m latency.Substrate, k int) []int {
 	if k > n {
 		panic("gnp: more landmarks than nodes")
 	}
-	dsts := make([]int, n)
-	for j := range dsts {
-		dsts[j] = j
+	if n > LandmarkCandidateCap {
+		return SelectLandmarksFrom(m, k, landmarkCandidates(n))
 	}
-	row := make([]float64, n)
-	// Start from the node with the largest total RTT (an extreme point).
+	all := make([]int, n)
+	for j := range all {
+		all[j] = j
+	}
+	return SelectLandmarksFrom(m, k, all)
+}
+
+// LandmarkCandidateCap bounds the candidate pool the greedy max-min
+// selection evaluates. At or below the cap selection is exact over the
+// whole population — identical to all previous releases, so existing
+// figure outputs are unchanged. Above it, the footprint and separation
+// passes run on a deterministic sample of the population: the footprint
+// pass is quadratic in the pool size, and at 25k model-substrate nodes
+// the exact form's 625M on-demand RTT evaluations were 87% of NPS
+// construction time (BENCH_engine.json, PR 6). The same
+// exact-below/sampled-above threshold pattern governs Vivaldi's spring
+// selection (see vivaldi's neighborScanLimit).
+const LandmarkCandidateCap = 4096
+
+// landmarkCandidates returns the deterministic candidate pool for an
+// n-node population: a seeded uniform sample, a pure function of n alone
+// (landmark selection has never consumed experiment randomness, and
+// keeping it seed-independent preserves that property).
+func landmarkCandidates(n int) []int {
+	rng := randx.New(randx.DeriveSeed(int64(n), "gnp-landmark-candidates", 0))
+	cand := randx.Sample(rng, n, LandmarkCandidateCap)
+	sort.Ints(cand)
+	return cand
+}
+
+// SelectLandmarksFrom is SelectLandmarks restricted to a candidate pool:
+// the footprint argmax and the max-min separation are evaluated over the
+// candidates only. With the full population as candidates it is the exact
+// historical algorithm, bit for bit.
+func SelectLandmarksFrom(m latency.Substrate, k int, candidates []int) []int {
+	if k > len(candidates) {
+		panic("gnp: more landmarks than candidates")
+	}
+	nc := len(candidates)
+	row := make([]float64, nc)
+	// Start from the candidate with the largest total RTT footprint over
+	// the pool (an extreme point).
 	first, best := 0, -1.0
-	for i := 0; i < n; i++ {
-		m.RTTFrom(i, dsts, row)
+	for i := 0; i < nc; i++ {
+		m.RTTFrom(candidates[i], candidates, row)
 		sum := 0.0
 		for _, d := range row {
 			sum += d
@@ -135,21 +256,21 @@ func SelectLandmarks(m latency.Substrate, k int) []int {
 		}
 	}
 	chosen := make([]int, 0, k)
-	chosen = append(chosen, first)
-	inChosen := make([]bool, n)
+	chosen = append(chosen, candidates[first])
+	inChosen := make([]bool, nc)
 	inChosen[first] = true
-	minDist := make([]float64, n)
-	m.RTTFrom(first, dsts, minDist)
+	minDist := make([]float64, nc)
+	m.RTTFrom(candidates[first], candidates, minDist)
 	for len(chosen) < k {
 		next, far := -1, -1.0
-		for j := 0; j < n; j++ {
+		for j := 0; j < nc; j++ {
 			if minDist[j] > far && !inChosen[j] {
 				far, next = minDist[j], j
 			}
 		}
-		chosen = append(chosen, next)
+		chosen = append(chosen, candidates[next])
 		inChosen[next] = true
-		m.RTTFrom(next, dsts, row)
+		m.RTTFrom(candidates[next], candidates, row)
 		for j, d := range row {
 			if d < minDist[j] {
 				minDist[j] = d
@@ -170,8 +291,12 @@ func SolveLandmarks(m latency.Substrate, landmarkIDs []int, space coordspace.Spa
 	perfect := 1e-8 * float64(len(landmarkIDs)*len(landmarkIDs))
 	var best []coordspace.Coord
 	bestObj := math.Inf(1)
+	// One solver serves every per-landmark solve of every restart — the
+	// coordinate-descent inner loop runs thousands of small Simplex solves,
+	// and the shared scratch removes their per-call allocations.
+	var sv optimize.Solver
 	for r := 0; r < restarts; r++ {
-		coords, obj := solveLandmarksOnce(m, landmarkIDs, space, randx.DeriveSeed(seed, "gnp-landmarks", r))
+		coords, obj := solveLandmarksOnce(m, landmarkIDs, space, &sv, randx.DeriveSeed(seed, "gnp-landmarks", r))
 		if obj < bestObj {
 			best, bestObj = coords, obj
 		}
@@ -182,7 +307,7 @@ func SolveLandmarks(m latency.Substrate, landmarkIDs []int, space coordspace.Spa
 	return best
 }
 
-func solveLandmarksOnce(m latency.Substrate, landmarkIDs []int, space coordspace.Space, seed int64) ([]coordspace.Coord, float64) {
+func solveLandmarksOnce(m latency.Substrate, landmarkIDs []int, space coordspace.Space, sv *optimize.Solver, seed int64) ([]coordspace.Coord, float64) {
 	rng := randx.New(seed)
 	k := len(landmarkIDs)
 	coords := make([]coordspace.Coord, k)
@@ -221,11 +346,13 @@ func solveLandmarksOnce(m latency.Substrate, landmarkIDs []int, space coordspace
 				rtts[idx] = m.RTT(landmarkIDs[i], landmarkIDs[j])
 				idx++
 			}
-			res := optimize.Minimize(Objective(space, anchors, rtts), coords[i].V, optimize.Options{
+			res := sv.Minimize(optimize.Func(Objective(space, anchors, rtts)), coords[i].V, optimize.Options{
 				MaxIter:  200 * space.Dims,
 				InitStep: 25,
 			})
-			coords[i] = coordspace.Coord{V: res.X}
+			// res.X aliases solver scratch; copy it into the landmark's
+			// own backing (same values the old fresh-slice path produced).
+			copy(coords[i].V, res.X)
 		}
 		if obj := total(); prev-obj < 1e-10 {
 			return coords, obj

@@ -200,6 +200,40 @@ func MedianInto(xs []float64, buf []float64) float64 {
 	return PercentileInto(xs, 0.5, buf)
 }
 
+// MedianExactInto returns the exact sample median — for even n the average
+// of the two middle order statistics, unlike the nearest-rank MedianInto,
+// which returns a single element — using quickselect over a caller-provided
+// scratch buffer (used only if cap(buf) ≥ len(xs); no allocation once the
+// buffer is warm). xs itself is never mutated and is not NaN-filtered;
+// callers with possible NaNs use the nearest-rank family. Empty input
+// returns NaN.
+//
+// The even-n average reads the same two elements a sort-then-index median
+// reads and combines them with the same expression, so results are
+// bit-identical to the classic sort-based implementation — which is what
+// lets nps's security filter switch to this O(n) path without changing a
+// single filtering decision.
+func MedianExactInto(xs []float64, buf []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	tmp := append(buf[:0], xs...)
+	if n%2 == 1 {
+		return quickselect(tmp, n/2)
+	}
+	hi := quickselect(tmp, n/2)
+	// quickselect leaves tmp[:n/2] holding the n/2 smallest values (all
+	// ≤ tmp[n/2]), so the lower middle is their maximum.
+	lo := tmp[0]
+	for _, v := range tmp[1 : n/2] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
 // Percentile returns the p-quantile (0≤p≤1) of the non-NaN values using
 // nearest-rank (round half-up) on the ordered data.
 func Percentile(xs []float64, p float64) float64 {

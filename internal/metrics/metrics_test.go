@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -370,5 +371,65 @@ func TestQuantiles(t *testing.T) {
 	res := Quantiles(xs, []float64{0.5, 0.99}, out, buf)
 	if &res[0] != &out[0] {
 		t.Error("Quantiles did not reuse the caller's out slice")
+	}
+}
+
+func TestMedianExactIntoBasics(t *testing.T) {
+	if v := MedianExactInto(nil, nil); !math.IsNaN(v) {
+		t.Fatalf("empty median = %v, want NaN", v)
+	}
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 2, 3}, 2.5},
+		{[]float64{-5, 10}, 2.5},
+		{[]float64{2, 2, 2, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := MedianExactInto(c.xs, nil); got != c.want {
+			t.Fatalf("MedianExactInto(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMedianExactIntoMatchesSortProperty(t *testing.T) {
+	// Bit-equality with the classic sort-then-average median on random
+	// inputs, odd and even lengths, reusing one scratch buffer throughout —
+	// this is the contract nps's security filter relies on.
+	buf := make([]float64, 0, 64)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = (r.Float64()*2 - 1) * 1e3
+		}
+		orig := append([]float64(nil), xs...)
+
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		var want float64
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+
+		if got := MedianExactInto(xs, buf); got != want {
+			return false
+		}
+		// xs must come back untouched (the copy goes through buf).
+		for i := range xs {
+			if xs[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -21,11 +21,11 @@ package nps
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/coordspace"
 	"repro/internal/gnp"
 	"repro/internal/latency"
+	"repro/internal/metrics"
 	"repro/internal/randx"
 )
 
@@ -172,14 +172,61 @@ type System struct {
 	store      *coordspace.Store
 	positioned []bool
 	refs       [][]int        // current reference set per node
-	banned     []map[int]bool // per-node refs removed by the security filter
+	banned     []map[int]bool // per-node refs removed by the security filter (nil until first ban)
 	taps       []Tap
 	rngs       []*rand.Rand
 	round      int
 	stats      FilterStats
-	byLayer    [][]int       // node ids per layer
-	parSamples [][]refSample // reusable per-layer buffers for StepParallel
+	byLayer    [][]int // node ids per layer
+
+	// Steady-state scratch. The probe phase is serial by contract (taps
+	// hold shared mutable state), so probeRTTs and the construction-time
+	// eligible buffer are System-level; the solve phase is sharded, so
+	// every shard owns a solveScratch and Step's serial sweep owns one
+	// more. All of it exists so a steady positioning round allocates
+	// nothing.
+	probeRTTs    []float64     // batched Substrate.RTTFrom row over refs[i]
+	eligible     []int         // assignRefs candidate scratch (construction/amnesty, serial)
+	parSlots     []sampleSlot  // per-node sample buffers for StepParallel
+	shardStats   []FilterStats // per-shard filter counters, reduced in shard order
+	shardScratch []*solveScratch
+	serialSlot   sampleSlot   // Step/positionNode sample buffer
+	serialSolve  solveScratch // Step/positionNode solve scratch
 }
+
+// sampleSlot is a reusable per-node sample buffer: the usable measurements
+// plus a flat arena backing the honest reply coordinates, so a steady
+// probe sweep copies reference coordinates without allocating. Forged
+// replies may carry tap-owned coordinates instead; both kinds are only
+// read within the round.
+type sampleSlot struct {
+	samples []refSample
+	coords  []float64 // len(refs)·Dims arena, row k backs sample k's honest coord
+}
+
+// solveScratch is one worker's scratch for the filter + solve half of a
+// positioning: fitting errors and their median buffer, the flat anchor
+// rows and RTTs handed to the solver, reference-replacement candidates,
+// and the host solver itself (which owns the simplex scratch).
+// positionWith touches no shared mutable state beyond its stats
+// accumulator, so StepParallel keeps one solveScratch per shard and Step
+// keeps one for its serial sweep — ownership never crosses a shard
+// boundary.
+type solveScratch struct {
+	fits       []float64
+	medBuf     []float64
+	anchors    []float64 // len(samples) rows of Dims floats
+	rtts       []float64
+	candidates []int
+	host       gnp.HostSolver
+}
+
+// serialSharder runs every range in one shard; the serial construction and
+// Step entry points use it so they need no engine pool.
+type serialSharder struct{}
+
+func (serialSharder) ForEach(n int, fn func(shard, lo, hi int)) { fn(0, 0, n) }
+func (serialSharder) NumShards(int) int                         { return 1 }
 
 var _ View = (*System)(nil)
 
@@ -187,6 +234,17 @@ var _ View = (*System)(nil)
 // layer assignment, and initial reference point assignment, all
 // deterministic from seed. Nodes are unpositioned until the first Step.
 func NewSystem(m latency.Substrate, cfg Config, seed int64) *System {
+	return NewSystemSharded(m, cfg, seed, serialSharder{})
+}
+
+// NewSystemSharded is NewSystem with construction sharded across sh. The
+// per-node RNG stream derivation — pure hashing, one stream per node id —
+// fans out across the pool; landmark selection/embedding and reference
+// assignment stay serial (selection is a global greedy pass, assignment
+// draws from per-node streams whose warm scratch is shared). Every stream
+// is derived from (seed, node id) alone, so the result is bit-identical
+// for any worker count.
+func NewSystemSharded(m latency.Substrate, cfg Config, seed int64, sh Sharder) *System {
 	cfg = cfg.withDefaults()
 	n := m.Size()
 	if cfg.NumLandmarks >= n {
@@ -204,10 +262,11 @@ func NewSystem(m latency.Substrate, cfg Config, seed int64) *System {
 		rngs:       make([]*rand.Rand, n),
 		byLayer:    make([][]int, cfg.Layers),
 	}
-	for i := 0; i < n; i++ {
-		s.rngs[i] = randx.NewDerived(seed, "nps-node", i)
-		s.banned[i] = make(map[int]bool)
-	}
+	sh.ForEach(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.rngs[i] = randx.NewDerived(seed, "nps-node", i)
+		}
+	})
 
 	// Layer 0: well separated permanent landmarks, embedded once.
 	s.landmarks = gnp.SelectLandmarks(m, cfg.NumLandmarks)
@@ -260,10 +319,11 @@ func NewSystem(m latency.Substrate, cfg Config, seed int64) *System {
 
 // assignRefs (re)builds node i's reference set: RefsPerNode members of the
 // layer above, excluding banned ones (falling back to banned members only
-// if the pool would otherwise be empty).
+// if the pool would otherwise be empty). Serial only — the candidate
+// scratch is shared — which construction and the amnesty path both are.
 func (s *System) assignRefs(i int) {
 	pool := s.byLayer[s.layerOf[i]-1]
-	eligible := make([]int, 0, len(pool))
+	eligible := s.eligible[:0]
 	for _, r := range pool {
 		if !s.banned[i][r] && r != i {
 			eligible = append(eligible, r)
@@ -271,9 +331,7 @@ func (s *System) assignRefs(i int) {
 	}
 	if len(eligible) < s.cfg.Space.Dims+1 {
 		// Too few unbanned references to position against: amnesty.
-		for r := range s.banned[i] {
-			delete(s.banned[i], r)
-		}
+		s.banned[i] = nil
 		eligible = eligible[:0]
 		for _, r := range pool {
 			if r != i {
@@ -281,6 +339,7 @@ func (s *System) assignRefs(i int) {
 			}
 		}
 	}
+	s.eligible = eligible // retain grown capacity
 	k := s.cfg.RefsPerNode
 	if k >= len(eligible) {
 		s.refs[i] = append([]int(nil), eligible...)
@@ -294,20 +353,29 @@ func (s *System) assignRefs(i int) {
 	s.refs[i] = set
 }
 
-// replaceRef swaps banned reference r out of node i's set for a fresh
-// member of the pool, if one is available.
-func (s *System) replaceRef(i, r int) {
-	pool := s.byLayer[s.layerOf[i]-1]
-	inSet := make(map[int]bool, len(s.refs[i]))
-	for _, x := range s.refs[i] {
-		inSet[x] = true
+// refsContain reports membership in a reference set (≤ RefsPerNode
+// entries; a linear scan beats building a set).
+func refsContain(refs []int, x int) bool {
+	for _, r := range refs {
+		if r == x {
+			return true
+		}
 	}
-	candidates := make([]int, 0, len(pool))
+	return false
+}
+
+// replaceRef swaps banned reference r out of node i's set for a fresh
+// member of the pool, if one is available. Runs inside the sharded solve
+// phase, so its candidate scratch comes from the shard's solveScratch.
+func (s *System) replaceRef(i, r int, sc *solveScratch) {
+	pool := s.byLayer[s.layerOf[i]-1]
+	candidates := sc.candidates[:0]
 	for _, x := range pool {
-		if x != i && !inSet[x] && !s.banned[i][x] {
+		if x != i && !refsContain(s.refs[i], x) && !s.banned[i][x] {
 			candidates = append(candidates, x)
 		}
 	}
+	sc.candidates = candidates // retain grown capacity
 	for idx, x := range s.refs[i] {
 		if x != r {
 			continue
@@ -344,26 +412,47 @@ type refSample struct {
 	rtt   float64
 }
 
-// collectSamples probes every current reference of node i and returns the
-// usable measurements: positioned references whose reply passed the probe
-// threshold and sanity checks. Probing is the only part of a positioning
-// that touches other nodes' mutable state (attack taps), so the parallel
-// step calls this serially, in a fixed node order, and hands the samples
-// to positionWith.
-func (s *System) collectSamples(i int) []refSample {
-	return s.collectSamplesInto(i, nil)
-}
-
-// collectSamplesInto is collectSamples appending into buf (retaining its
-// capacity across rounds); the parallel step reuses per-slot buffers so a
-// steady round reallocates nothing here.
-func (s *System) collectSamplesInto(i int, buf []refSample) []refSample {
-	samples := buf[:0]
-	for _, r := range s.refs[i] {
+// collectSamplesInto probes every current reference of node i into slot's
+// reusable buffers and returns the usable measurements: positioned
+// references whose reply passed the probe threshold and sanity checks.
+// Probing is the only part of a positioning that touches other nodes'
+// mutable state (attack taps), so callers run it serially, in a fixed node
+// order, and hand the samples to positionWith.
+//
+// The RTTs are gathered through one batched Substrate.RTTFrom row (the
+// backends answer rows element-identical to per-pair RTT calls), and each
+// honest reply's coordinate is copied into the slot's flat arena — so a
+// steady probe sweep performs no per-probe interface dispatch and no
+// allocation. Taps are consulted after the copy, in reference order,
+// exactly as the per-probe path did; a tap may return its own forged
+// coordinate, which is used as-is.
+func (s *System) collectSamplesInto(i int, slot *sampleSlot) []refSample {
+	refs := s.refs[i]
+	dims := s.cfg.Space.Dims
+	if cap(s.probeRTTs) < len(refs) {
+		s.probeRTTs = make([]float64, len(refs))
+	}
+	rtts := s.probeRTTs[:len(refs)]
+	s.m.RTTFrom(i, refs, rtts)
+	if cap(slot.coords) < len(refs)*dims {
+		slot.coords = make([]float64, len(refs)*dims)
+	}
+	arena := slot.coords[:cap(slot.coords)]
+	samples := slot.samples[:0]
+	for k, r := range refs {
 		if !s.positioned[r] {
 			continue
 		}
-		reply := s.Probe(i, r)
+		row := arena[len(samples)*dims : (len(samples)+1)*dims : (len(samples)+1)*dims]
+		copy(row, s.store.VecAt(r))
+		reply := ProbeReply{Coord: coordspace.Coord{V: row}, RTT: rtts[k]}
+		if tap := s.taps[r]; tap != nil {
+			forged := tap.Respond(i, reply, s)
+			if forged.RTT < reply.RTT {
+				forged.RTT = reply.RTT
+			}
+			reply = forged
+		}
 		if s.cfg.ProbeThresholdMS > 0 && reply.RTT > s.cfg.ProbeThresholdMS {
 			continue // suspicious probe, discarded (§5.4.2)
 		}
@@ -372,21 +461,23 @@ func (s *System) collectSamplesInto(i int, buf []refSample) []refSample {
 		}
 		samples = append(samples, refSample{r, reply.Coord, reply.RTT})
 	}
+	slot.samples = samples
 	return samples
 }
 
 // positionNode runs one positioning for node i: probe every current
 // reference, discard over-threshold probes, apply the security filter,
-// then solve with the surviving references.
+// then solve with the surviving references. It is the serial Step path and
+// uses the System-owned scratch.
 func (s *System) positionNode(i int) {
-	s.positionWith(i, s.collectSamples(i), &s.stats)
+	s.positionWith(i, s.collectSamplesInto(i, &s.serialSlot), &s.stats, &s.serialSolve)
 }
 
 // positionWith applies the security filter and the Simplex Downhill solve
-// to already-collected samples. Apart from the stats accumulator it
-// mutates only node-i state (coords, banned set, reference set, RNG
-// stream), so distinct nodes of one layer may run concurrently as long as
-// each passes its own stats accumulator.
+// to already-collected samples. Apart from the stats accumulator and the
+// scratch it mutates only node-i state (coords, banned set, reference set,
+// RNG stream), so distinct nodes of one layer may run concurrently as long
+// as each worker passes its own stats accumulator and solveScratch.
 //
 // The filter evaluates each reference's fitting error against the node's
 // *current* position estimate — the position computed from the previous
@@ -397,7 +488,7 @@ func (s *System) positionNode(i int) {
 // inconsistent with where the node knows it sits, but once enough
 // references lie, the median fitting error itself is poisoned and the
 // criterion goes blind (the paper's ~40% breaking point, fig. 14).
-func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
+func (s *System) positionWith(i int, samples []refSample, stats *FilterStats, sc *solveScratch) {
 	if len(samples) < s.cfg.Space.Dims/2+2 {
 		return // not enough usable references this round
 	}
@@ -412,7 +503,11 @@ func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
 	// §3.1; the one-elimination rule is what hands colluders their
 	// reprieves). The FilterAll ablation eliminates all of them.
 	if s.cfg.Security && s.positioned[i] {
-		fits := make([]float64, len(samples))
+		if cap(sc.fits) < len(samples) {
+			sc.fits = make([]float64, len(samples))
+			sc.medBuf = make([]float64, len(samples))
+		}
+		fits := sc.fits[:len(samples)]
 		worst, worstIdx := -1.0, -1
 		// The fitting error reads the node's current estimate straight off
 		// the flat store (zero-copy view; FitError only reads it).
@@ -423,32 +518,24 @@ func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
 				worst, worstIdx = fits[k], k
 			}
 		}
-		med := medianOf(fits)
-		exceeds := func(fit float64) bool {
-			return fit > s.cfg.MinFitError && fit > s.cfg.SecurityC*med
-		}
-		eliminate := func(ref int) {
-			s.banned[i][ref] = true
-			stats.Total++
-			if s.taps[ref] != nil {
-				stats.Malicious++
-			}
-			s.replaceRef(i, ref)
-		}
-		if worstIdx >= 0 && exceeds(worst) {
+		// Exact median via quickselect (bit-identical to the historical
+		// sort-a-copy median, without the sort or the copy allocation).
+		med := metrics.MedianExactInto(fits, sc.medBuf[:0])
+		minFit, bar := s.cfg.MinFitError, s.cfg.SecurityC*med
+		if worstIdx >= 0 && worst > minFit && worst > bar {
 			if s.cfg.FilterAll {
 				for k, sm := range samples {
-					if exceeds(fits[k]) {
-						eliminate(sm.ref)
+					if fits[k] > minFit && fits[k] > bar {
+						s.eliminate(i, sm.ref, stats, sc)
 					}
 				}
 			} else {
-				eliminate(samples[worstIdx].ref)
+				s.eliminate(i, samples[worstIdx].ref, stats, sc)
 			}
 			// Screen every flagged reference out of this round's solve.
 			kept := samples[:0]
 			for k, sm := range samples {
-				if !exceeds(fits[k]) {
+				if !(fits[k] > minFit && fits[k] > bar) {
 					kept = append(kept, sm)
 				}
 			}
@@ -459,19 +546,25 @@ func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
 		}
 	}
 
-	anchors := make([]coordspace.Coord, len(samples))
-	rtts := make([]float64, len(samples))
-	for k, sm := range samples {
-		anchors[k] = sm.coord
-		rtts[k] = sm.rtt
+	// Flatten the surviving anchors into the scratch rows and solve with
+	// the shard-owned host solver. The solution aliases solver scratch;
+	// SetCoordAt copies it into the store.
+	dims := s.cfg.Space.Dims
+	if cap(sc.anchors) < len(samples)*dims {
+		sc.anchors = make([]float64, len(samples)*dims)
 	}
-	position := gnp.PositionHostAbsolute
-	if s.cfg.RelativeObjective {
-		position = gnp.PositionHostIter
+	if cap(sc.rtts) < len(samples) {
+		sc.rtts = make([]float64, len(samples))
+	}
+	anchors, rtts := sc.anchors[:len(samples)*dims], sc.rtts[:len(samples)]
+	for k, sm := range samples {
+		copy(anchors[k*dims:(k+1)*dims], sm.coord.V)
+		rtts[k] = sm.rtt
 	}
 	// Warm-start from the stored slot (the solver copies it) and write the
 	// accepted solution back in place.
-	pos, _ := position(s.cfg.Space, anchors, rtts, s.store.ViewAt(i), s.rngs[i], s.cfg.SolveIterations)
+	pos, _ := sc.host.Position(s.cfg.Space, anchors, rtts, s.cfg.RelativeObjective,
+		s.store.ViewAt(i), s.rngs[i], s.cfg.SolveIterations)
 	if !pos.IsValid() {
 		return
 	}
@@ -479,17 +572,30 @@ func (s *System) positionWith(i int, samples []refSample, stats *FilterStats) {
 	s.positioned[i] = true
 }
 
+// eliminate permanently bans reference ref for node i and draws a
+// replacement. The banned map is created on first use: most nodes never
+// ban anyone, and 25k eager maps were a measurable slice of construction.
+func (s *System) eliminate(i, ref int, stats *FilterStats, sc *solveScratch) {
+	if s.banned[i] == nil {
+		s.banned[i] = make(map[int]bool, 4)
+	}
+	s.banned[i][ref] = true
+	stats.Total++
+	if s.taps[ref] != nil {
+		stats.Malicious++
+	}
+	s.replaceRef(i, ref, sc)
+}
+
+// medianOf is the security filter's median: the exact sample median, with
+// the historical convention that an empty slice yields 0. Kept as the
+// allocation-per-call convenience form; the hot path calls
+// metrics.MedianExactInto with shard scratch directly.
 func medianOf(xs []float64) float64 {
-	tmp := append([]float64(nil), xs...)
-	sort.Float64s(tmp)
-	n := len(tmp)
-	if n == 0 {
+	if len(xs) == 0 {
 		return 0
 	}
-	if n%2 == 1 {
-		return tmp[n/2]
-	}
-	return (tmp[n/2-1] + tmp[n/2]) / 2
+	return metrics.MedianExactInto(xs, make([]float64, 0, len(xs)))
 }
 
 // Step runs one positioning round: every non-landmark node repositions

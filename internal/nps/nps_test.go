@@ -2,6 +2,8 @@ package nps
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/coordspace"
@@ -297,5 +299,80 @@ func TestViewInterface(t *testing.T) {
 	}
 	if math.IsNaN(v.TrueRTT(0, 1)) {
 		t.Fatal("rtt")
+	}
+}
+
+func TestMedianOfMatchesSortReference(t *testing.T) {
+	// medianOf now runs on metrics' quickselect; pin bit-equality with the
+	// classic sort-then-average median it replaced, so the security
+	// filter's elimination bar (SecurityC·median) cannot silently drift.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 500
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		var want float64
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		if got := medianOf(xs); got != want {
+			t.Fatalf("medianOf(%v) = %v, want %v", xs, got, want)
+		}
+	}
+}
+
+func TestFilterOutputUnchangedByWorkerCount(t *testing.T) {
+	// The sharded solve phase (per-shard scratch + stats) must make the
+	// exact same filtering decisions and produce the exact same
+	// coordinates as the serial step, at any shard granularity.
+	if testing.Short() {
+		t.Skip("positioning run")
+	}
+	m := kingMatrix(120, 11)
+	serial := NewSystem(m, Config{NumLandmarks: 12, Security: true}, 6)
+	sharded := NewSystem(m, Config{NumLandmarks: 12, Security: true}, 6)
+	liar := serial.NodesInLayer(1)[0]
+	serial.SetTap(liar, delayTap{add: 1000})
+	sharded.SetTap(liar, delayTap{add: 1000})
+	for round := 0; round < 3; round++ {
+		serial.Step()
+		sharded.StepParallel(fixedSharder{shards: 7})
+	}
+	if serial.Stats() != sharded.Stats() {
+		t.Fatalf("filter stats diverged: serial %+v, sharded %+v", serial.Stats(), sharded.Stats())
+	}
+	for i := 0; i < m.Size(); i++ {
+		ca, cb := serial.Coord(i), sharded.Coord(i)
+		for d := range ca.V {
+			if ca.V[d] != cb.V[d] {
+				t.Fatalf("node %d dim %d diverged: serial %v, sharded %v", i, d, ca.V[d], cb.V[d])
+			}
+		}
+	}
+}
+
+// fixedSharder splits n items into a fixed number of contiguous shards,
+// exercising the per-shard scratch paths without an engine dependency.
+type fixedSharder struct{ shards int }
+
+func (f fixedSharder) NumShards(n int) int { return f.shards }
+
+func (f fixedSharder) ForEach(n int, fn func(shard, lo, hi int)) {
+	per := (n + f.shards - 1) / f.shards
+	for s := 0; s < f.shards; s++ {
+		lo, hi := s*per, (s+1)*per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		fn(s, lo, hi)
 	}
 }

@@ -34,24 +34,41 @@ func (s *System) StepParallel(sh Sharder) {
 		if len(ids) == 0 {
 			continue
 		}
-		if cap(s.parSamples) < len(ids) {
-			s.parSamples = make([][]refSample, len(ids))
+		if cap(s.parSlots) < len(ids) {
+			grown := make([]sampleSlot, len(ids))
+			copy(grown, s.parSlots) // keep already-warm buffers
+			s.parSlots = grown
 		}
-		samples := s.parSamples[:len(ids)]
+		slots := s.parSlots[:len(ids)]
 
 		// Phase 1 (serial, fixed order): collect every node's usable
 		// reference measurements, consulting taps exactly once per probe.
-		// Each slot's buffer is reused across rounds (capacity persists in
-		// parSamples), so a steady round does not reallocate here.
+		// Each slot's sample and coordinate-arena buffers persist across
+		// rounds, so a steady round does not reallocate here.
 		for k, i := range ids {
-			samples[k] = s.collectSamplesInto(i, samples[k])
+			s.collectSamplesInto(i, &slots[k])
 		}
 
-		// Phase 2 (sharded): filter + solve, with per-shard filter stats.
-		shardStats := make([]FilterStats, sh.NumShards(len(ids)))
+		// Phase 2 (sharded): filter + solve. Filter stats and the solver
+		// scratch are per shard — the scratch (simplex vertices, anchor
+		// rows, median buffer) is owned by the shard for the whole phase,
+		// never shared, which is the solver-scratch ownership rule that
+		// keeps this phase allocation-free and race-free.
+		num := sh.NumShards(len(ids))
+		if cap(s.shardStats) < num {
+			s.shardStats = make([]FilterStats, num)
+		}
+		shardStats := s.shardStats[:num]
+		for k := range shardStats {
+			shardStats[k] = FilterStats{}
+		}
+		for len(s.shardScratch) < num {
+			s.shardScratch = append(s.shardScratch, &solveScratch{})
+		}
 		sh.ForEach(len(ids), func(shard, lo, hi int) {
+			sc := s.shardScratch[shard]
 			for k := lo; k < hi; k++ {
-				s.positionWith(ids[k], samples[k], &shardStats[shard])
+				s.positionWith(ids[k], slots[k].samples, &shardStats[shard], sc)
 			}
 		})
 		// Reduce in shard order (integer sums: order-independent anyway).

@@ -8,11 +8,6 @@
 // function-spread stopping rule, which is what the original GNP code used.
 package optimize
 
-import (
-	"math"
-	"sort"
-)
-
 // Options controls a minimization. Zero fields take defaults.
 type Options struct {
 	MaxIter  int     // maximum iterations (default 400·dim)
@@ -43,121 +38,16 @@ type Result struct {
 // Minimize runs Nelder–Mead on f starting from x0 and returns the best
 // point found. f must be finite at x0; non-finite values elsewhere are
 // treated as +inf so the simplex retreats from them.
+//
+// This is the convenience entry point: it allocates fresh solver scratch
+// per call and returns a Result whose X the caller owns. Hot paths keep a
+// Solver and call its Minimize method instead, which reuses all scratch
+// and produces the identical iterate sequence.
 func Minimize(f func([]float64) float64, x0 []float64, opt Options) Result {
-	dim := len(x0)
-	if dim == 0 {
-		panic("optimize: empty starting point")
-	}
-	opt = opt.withDefaults(dim)
-
-	eval := func(x []float64) float64 {
-		v := f(x)
-		if math.IsNaN(v) {
-			return math.Inf(1)
-		}
-		return v
-	}
-
-	// Initial simplex: x0 plus one vertex per axis at InitStep.
-	n := dim + 1
-	pts := make([][]float64, n)
-	vals := make([]float64, n)
-	for i := range pts {
-		p := make([]float64, dim)
-		copy(p, x0)
-		if i > 0 {
-			p[i-1] += opt.InitStep
-		}
-		pts[i] = p
-		vals[i] = eval(p)
-	}
-
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	centroid := make([]float64, dim)
-	trial := make([]float64, dim)
-	trial2 := make([]float64, dim)
-
-	iters := 0
-	for ; iters < opt.MaxIter; iters++ {
-		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
-		best, worst := order[0], order[n-1]
-
-		// Relative spread stopping rule.
-		spread := math.Abs(vals[worst] - vals[best])
-		scale := math.Abs(vals[worst]) + math.Abs(vals[best]) + 1e-12
-		if spread/scale < opt.Tol || spread < opt.Tol*opt.Tol {
-			break
-		}
-
-		// Centroid of all but the worst vertex.
-		for d := 0; d < dim; d++ {
-			centroid[d] = 0
-		}
-		for _, i := range order[:n-1] {
-			for d, x := range pts[i] {
-				centroid[d] += x
-			}
-		}
-		for d := range centroid {
-			centroid[d] /= float64(n - 1)
-		}
-
-		// Reflection.
-		for d := range trial {
-			trial[d] = centroid[d] + (centroid[d] - pts[worst][d])
-		}
-		fr := eval(trial)
-
-		switch {
-		case fr < vals[best]:
-			// Expansion.
-			for d := range trial2 {
-				trial2[d] = centroid[d] + 2*(centroid[d]-pts[worst][d])
-			}
-			if fe := eval(trial2); fe < fr {
-				copy(pts[worst], trial2)
-				vals[worst] = fe
-			} else {
-				copy(pts[worst], trial)
-				vals[worst] = fr
-			}
-		case fr < vals[order[n-2]]:
-			// Accept reflection.
-			copy(pts[worst], trial)
-			vals[worst] = fr
-		default:
-			// Contraction (outside if reflection improved on worst,
-			// inside otherwise).
-			if fr < vals[worst] {
-				for d := range trial2 {
-					trial2[d] = centroid[d] + 0.5*(trial[d]-centroid[d])
-				}
-			} else {
-				for d := range trial2 {
-					trial2[d] = centroid[d] + 0.5*(pts[worst][d]-centroid[d])
-				}
-			}
-			if fc := eval(trial2); fc < math.Min(fr, vals[worst]) {
-				copy(pts[worst], trial2)
-				vals[worst] = fc
-			} else {
-				// Shrink toward the best vertex.
-				for _, i := range order[1:] {
-					for d := range pts[i] {
-						pts[i][d] = pts[best][d] + 0.5*(pts[i][d]-pts[best][d])
-					}
-					vals[i] = eval(pts[i])
-				}
-			}
-		}
-	}
-
-	sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
-	best := order[0]
-	out := make([]float64, dim)
-	copy(out, pts[best])
-	return Result{X: out, F: vals[best], Iters: iters}
+	var s Solver
+	res := s.Minimize(Func(f), x0, opt)
+	out := make([]float64, len(res.X))
+	copy(out, res.X)
+	res.X = out
+	return res
 }
