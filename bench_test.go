@@ -137,6 +137,29 @@ func BenchmarkTickSharded5k(b *testing.B) {
 	}
 }
 
+// BenchmarkTickHardened1740 measures one sharded Vivaldi tick at the
+// paper's population with the full hardening stack on — per-spring median
+// filter, adjustment residuals, gravity pull and neighbor decay. Its
+// allocs/op rides the bench-guard hardened ceiling: the filter's median
+// runs over preallocated (node, spring)-owned rings, so hardening must
+// add arithmetic, not heap traffic.
+func BenchmarkTickHardened1740(b *testing.B) {
+	m := benchMatrix(1740)
+	cs := engine.NewVivaldi(m, vivaldi.Config{Harden: vivaldi.Hardening{
+		LatencyWindow:      5,
+		AdjustmentWindow:   10,
+		GravityRho:         500,
+		NeighborDecayTicks: 200,
+	}}, 1)
+	pool := engine.NewPool(8)
+	cs.Step(pool) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Step(pool)
+	}
+}
+
 // BenchmarkMeasure5k measures the sharded flat-store measurement pass at
 // 5000 nodes with 64 evaluation peers each, into a reused output buffer —
 // the per-sample cost of the engine's accuracy series at scale.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/latency"
 	"repro/internal/report"
+	"repro/internal/vivaldi"
 )
 
 func main() {
@@ -54,8 +55,9 @@ func main() {
 			if sp.Custom != nil {
 				kind = "custom"
 			}
-			fmt.Printf("%-17s %-22s %-8s %-7s %-7s %-4s %s\n",
-				sp.Name, sp.Figure, kind, specSubstrate(sp), specBackend(sp), specCampaign(sp), sp.Title)
+			fmt.Printf("%-20s %-22s %-8s %-7s %-7s %-4s %-8s %s\n",
+				sp.Name, sp.Figure, kind, specSubstrate(sp), specBackend(sp), specCampaign(sp),
+				specHardening(sp), sp.Title)
 		}
 		return
 	}
@@ -230,6 +232,24 @@ func campaignTimelines(id string) []string {
 		}
 	}
 	return out
+}
+
+// specHardening summarises a scenario's hardened-Vivaldi configurations
+// (-list column): "-" when every run is plain, "5cfg" when the runs span
+// 5 distinct hardening configurations (the defense × attack grids).
+func specHardening(sp engine.ScenarioSpec) string {
+	seen := map[vivaldi.Hardening]bool{}
+	for _, s := range sp.Series {
+		for _, r := range s.Runs {
+			if r.Harden.Enabled() {
+				seen[r.Harden] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dcfg", len(seen))
 }
 
 // specBackend names the execution backend a scenario's runs pin (-list

@@ -117,6 +117,10 @@ func (n *SimNode) Coord() coordspace.Coord { return n.vn.Coord() }
 // ErrorEstimate returns the node's current local error estimate.
 func (n *SimNode) ErrorEstimate() float64 { return n.vn.Error() }
 
+// Adjustment returns the node's current distance adjustment term — 0
+// unless the hardened adjustment refinement is configured.
+func (n *SimNode) Adjustment() float64 { return n.vn.Adjustment() }
+
 // Updates returns how many samples the node has applied.
 func (n *SimNode) Updates() int { return n.updates }
 
@@ -208,7 +212,9 @@ func (n *SimNode) handleResponse(resp wire.ProbeResponse, from int) {
 	if n.forge != nil {
 		return // malicious nodes do not move themselves
 	}
-	n.vn.Update(vivaldi.ProbeResponse{
+	// Attributed to the responding host index, so the hardened per-peer
+	// latency filter (when configured) keys the sample to the right ring.
+	n.vn.UpdateFrom(from, vivaldi.ProbeResponse{
 		Coord: coordspace.Coord{V: resp.Vec, H: resp.Height},
 		Error: resp.Error,
 		RTT:   rttMs,

@@ -29,6 +29,13 @@ type Config struct {
 	ErrorFloor float64 // reported errors below this are raised to it (default 0.05)
 	MaxNorm    float64 // reject remote coordinates beyond this norm (default 5000 ms)
 	MaxStep    float64 // cap per-sample displacement (default 100 ms)
+
+	// Cc is the timestep constant of the guarded population
+	// (vivaldi.Config.Cc; default 0.25). The displacement clamp converts
+	// MaxStep into an RTT window of width MaxStep/Cc, so a guard built for
+	// a non-default Cc must be told — otherwise the clamp silently under-
+	// or over-constrains.
+	Cc float64
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +50,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStep == 0 {
 		c.MaxStep = 100
+	}
+	if c.Cc == 0 {
+		c.Cc = 0.25
 	}
 	return c
 }
@@ -67,7 +77,7 @@ func Guard(cfg Config) func(node int, resp vivaldi.ProbeResponse, view vivaldi.V
 		// Cc·|rtt − dist| (w ≤ 1), so cap |rtt − dist| at MaxStep/Cc by
 		// clamping the reported RTT toward the estimated distance.
 		dist := space.Dist(view.Coord(node), resp.Coord)
-		limit := cfg.MaxStep / 0.25
+		limit := cfg.MaxStep / cfg.Cc
 		if resp.RTT > dist+limit {
 			resp.RTT = dist + limit
 		}

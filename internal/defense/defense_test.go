@@ -1,6 +1,7 @@
 package defense
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/coordspace"
@@ -63,6 +64,34 @@ func TestGuardClampsDisplacement(t *testing.T) {
 	dist := sys.Space().Dist(sys.Coord(0), peer)
 	if diff := out.RTT - dist; diff < -401 || diff > 401 {
 		t.Fatalf("clamp failed: |rtt−dist| = %v", diff)
+	}
+}
+
+// TestGuardClampsDisplacementNonDefaultCc is the regression test for the
+// hardcoded-Cc bug: the clamp converts MaxStep into an RTT window of
+// width MaxStep/Cc, so at Cc=0.5 the window is half the default's. Before
+// Config.Cc existed the guard silently assumed 0.25 and let samples move
+// a Cc=0.5 population twice as far as MaxStep.
+func TestGuardClampsDisplacementNonDefaultCc(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(20), 1)
+	sys := vivaldi.NewSystem(m, vivaldi.Config{Cc: 0.5}, 1)
+	guard := Guard(Config{MaxStep: 100, Cc: 0.5})
+	peer := coordspace.Coord{V: []float64{3000, 0}}
+	resp := vivaldi.ProbeResponse{Coord: peer, Error: 0.5, RTT: 1900}
+	out, ok := guard(0, resp, sys)
+	if !ok {
+		t.Fatal("sample rejected")
+	}
+	// MaxStep/Cc = 100/0.5 = 200: the window must be tighter than the
+	// default configuration's 400, not the hardcoded 0.25 conversion.
+	dist := sys.Space().Dist(sys.Coord(0), peer)
+	if diff := out.RTT - dist; diff < -201 || diff > 201 {
+		t.Fatalf("clamp ignored the configured Cc: |rtt−dist| = %v, want <= 200", diff)
+	}
+	// Worst-case displacement bound: Cc·w·|rtt−dist| with w ≤ 1 must not
+	// exceed MaxStep.
+	if step := 0.5 * math.Abs(out.RTT-dist); step > 100+1e-9 {
+		t.Fatalf("worst-case step %v exceeds MaxStep", step)
 	}
 }
 

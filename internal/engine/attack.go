@@ -48,6 +48,13 @@ const (
 	// system's three main strategies (§5.3.4 / §5.4.4 closing
 	// experiment).
 	AttackCombined AttackKind = "combined"
+
+	// AttackFrogBoil is the frog-boiling attack of the follow-up
+	// literature (Chan-Tin et al.): a sequence of small self-consistent
+	// coordinate-drift lies, each inside any plausibility window, that
+	// accumulates to exile scale. Vivaldi only; the sharp column of the
+	// hardened defense × attack grid.
+	AttackFrogBoil AttackKind = "frog-boil"
 )
 
 // AttackSpec declares an attack mix. The zero value means "no attack".

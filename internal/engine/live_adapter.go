@@ -44,6 +44,7 @@ type liveSystem struct {
 	neighbors [][]int
 	store     *coordspace.Store
 	errs      []float64
+	adj       []float64 // per-node adjustment terms; nil unless hardening enables them
 	tick      int
 	interval  time.Duration
 
@@ -105,6 +106,9 @@ func NewLiveNet(m latency.Substrate, cfg vivaldi.Config, seed int64, sh Sharder,
 		store:    coordspace.NewStore(cfg.Space, n),
 		errs:     make([]float64, n),
 		interval: liveTickInterval,
+	}
+	if cfg.Harden.AdjustmentWindow > 0 {
+		ls.adj = make([]float64, n)
 	}
 	net := simnet.NewNetwork(sim, simnet.NetConfig{
 		Latency:      ls.oneWayDelay,
@@ -213,13 +217,17 @@ func (ls *liveSystem) Step(sh Sharder) {
 	ls.sync(sh)
 }
 
-// sync copies every daemon's coordinate and error estimate into the flat
+// sync copies every daemon's coordinate, error estimate and (when the
+// adjustment refinement is on) distance adjustment term into the flat
 // population buffers the measurement pass sweeps.
 func (ls *liveSystem) sync(sh Sharder) {
 	sh.ForEach(len(ls.nodes), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ls.nodes[i].SyncInto(ls.store, i)
 			ls.errs[i] = ls.nodes[i].ErrorEstimate()
+			if ls.adj != nil {
+				ls.adj[i] = ls.nodes[i].Adjustment()
+			}
 		}
 	})
 }
@@ -284,7 +292,7 @@ func (ls *liveSystem) Snapshot() []coordspace.Coord {
 func (ls *liveSystem) Store() *coordspace.Store { return ls.store }
 
 func (ls *liveSystem) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
-	return measure(ls.m, ls.store, peers, include, sh, out)
+	return measure(ls.m, ls.store, peers, include, ls.adj, sh, out)
 }
 
 // NetStats exposes the virtual network's fault counters (run banners,
@@ -315,6 +323,9 @@ func (ls *liveSystem) ResetNode(i int) {
 	ls.nodes[i].Reset()
 	ls.nodes[i].SyncInto(ls.store, i)
 	ls.errs[i] = ls.nodes[i].ErrorEstimate()
+	if ls.adj != nil {
+		ls.adj[i] = 0
+	}
 }
 
 // ApplyPartition / HealPartition sever and restore links at the packet

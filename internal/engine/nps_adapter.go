@@ -55,7 +55,7 @@ func (a *npsAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
 func (a *npsAdapter) Store() *coordspace.Store     { return a.sys.Store() }
 
 func (a *npsAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
-	return measure(a.sys.Substrate(), a.sys.Store(), peers, include, sh, out)
+	return measure(a.sys.Substrate(), a.sys.Store(), peers, include, nil, sh, out)
 }
 
 func (a *npsAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {

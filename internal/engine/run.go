@@ -93,14 +93,25 @@ func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
 		return res, nil
 	}
 
-	// Expand series into distinct runs, in first-seen order.
-	var order []RunSpec
-	index := map[RunSpec]int{}
+	// Expand series into distinct (system, run) units, in first-seen
+	// order. The system is part of the key because a series may override
+	// the scenario's system (overlay figures): the same RunSpec on two
+	// systems is two different simulations, while identical specs on the
+	// same system still dedupe (a clean reference shared by several series
+	// simulates once).
+	type runKey struct {
+		kind SystemKind
+		run  RunSpec
+	}
+	var order []runKey
+	index := map[runKey]int{}
 	for _, s := range spec.Series {
+		kind := spec.EffectiveSystem(s)
 		for _, r := range s.Runs {
-			if _, ok := index[r]; !ok {
-				index[r] = len(order)
-				order = append(order, r)
+			k := runKey{kind, r}
+			if _, ok := index[k]; !ok {
+				index[k] = len(order)
+				order = append(order, k)
 			}
 		}
 	}
@@ -123,7 +134,7 @@ func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
 	tickPool := pool.Split(len(jobs))
 	pool.RunUnits(len(jobs), func(k int) {
 		j := jobs[k]
-		units[k] = runUnit(spec.System, order[j.run], sc, j.rep, tickPool)
+		units[k] = runUnit(order[j.run].kind, order[j.run].run, sc, j.rep, tickPool)
 	})
 	for _, u := range units {
 		if u.err != nil {
@@ -139,9 +150,10 @@ func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
 	// Reduce to figure series.
 	res := &Result{ID: spec.Name, Title: spec.Title, XLabel: spec.XLabel, YLabel: spec.YLabel}
 	for _, s := range spec.Series {
+		kind := spec.EffectiveSystem(s)
 		switch spec.Output {
 		case OutRatioVsTime, OutMeanVsTime, OutTargetVsTime:
-			o := &outs[index[s.Runs[0]]]
+			o := &outs[index[runKey{kind, s.Runs[0]}]]
 			ser := Series{Label: s.Label}
 			for k, tick := range o.ticks {
 				switch spec.Output {
@@ -154,10 +166,10 @@ func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
 				}
 			}
 			res.Series = append(res.Series, ser)
-			noteRun(res, spec, s.Label, o)
+			noteRun(res, kind, s.Label, o)
 
 		case OutFinalCDF:
-			o := &outs[index[s.Runs[0]]]
+			o := &outs[index[runKey{kind, s.Runs[0]}]]
 			vals := o.finals
 			switch s.Select {
 			case SelectDeepestLayer:
@@ -166,12 +178,12 @@ func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
 				vals = o.victimFinals
 			}
 			res.Series = append(res.Series, cdfSeries(s.Label, vals))
-			noteRun(res, spec, s.Label, o)
+			noteRun(res, kind, s.Label, o)
 
 		case OutFinalVsX, OutRatioVsX, OutFilterRatioVsX:
 			ser := Series{Label: s.Label}
 			for _, r := range s.Runs {
-				o := &outs[index[r]]
+				o := &outs[index[runKey{kind, r}]]
 				switch spec.Output {
 				case OutFinalVsX:
 					ser.Add(r.XValue(sc), o.finalMean)
@@ -186,7 +198,7 @@ func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
 			// plotted y (clean error, random baseline, filter counts) are
 			// part of the reproducible record.
 			for _, r := range s.Runs {
-				noteRun(res, spec, fmt.Sprintf("%s x=%g", s.Label, r.XValue(sc)), &outs[index[r]])
+				noteRun(res, kind, fmt.Sprintf("%s x=%g", s.Label, r.XValue(sc)), &outs[index[runKey{kind, r}]])
 			}
 		}
 	}
@@ -196,13 +208,13 @@ func RunScenario(spec ScenarioSpec, sc Scale, pool *Pool) (*Result, error) {
 // noteRun records a series' reference values: clean converged error,
 // final error, random baseline, and (for filtering systems) the filter's
 // decisions.
-func noteRun(res *Result, spec ScenarioSpec, label string, o *runOutcome) {
+func noteRun(res *Result, kind SystemKind, label string, o *runOutcome) {
 	clean := "n/a" // genesis runs have no converged clean reference
 	if !math.IsNaN(o.cleanRef) {
 		clean = fmt.Sprintf("%.3f", o.cleanRef)
 	}
 	note := fmt.Sprintf("%s: clean=%s final=%.3f random=%.1f", label, clean, o.finalMean, o.randomRef)
-	if spec.System == SystemNPS {
+	if kind == SystemNPS {
 		note += fmt.Sprintf(" filtered(mal/total)=%d/%d", o.filter.Malicious, o.filter.Total)
 	}
 	res.Notes = append(res.Notes, note)
@@ -259,6 +271,17 @@ func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed
 	if backend != BackendLive && r.Faults != (FaultSpec{}) {
 		return nil, fmt.Errorf("run-level faults require the live backend (the in-memory engine has no packet network)")
 	}
+	if r.Harden.Enabled() {
+		// Spec-pinned runs are validated at registration; this guards
+		// hand-built RunSpecs (tests, library callers) with an error
+		// instead of the system constructor's panic.
+		if kind != SystemVivaldi {
+			return nil, fmt.Errorf("hardening options apply to vivaldi only (got %q)", kind)
+		}
+		if err := r.Harden.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	switch kind {
 	case SystemVivaldi:
 		var space coordspace.Space
@@ -269,15 +292,16 @@ func buildSystem(kind SystemKind, r RunSpec, sc Scale, m latency.Substrate, seed
 				space = coordspace.Euclidean(r.Dims)
 			}
 		}
+		cfg := vivaldi.Config{Space: space, Harden: r.Harden}
 		if backend == BackendLive {
-			return NewLiveNet(m, vivaldi.Config{Space: space}, seed, sh, LiveNetConfig{
+			return NewLiveNet(m, cfg, seed, sh, LiveNetConfig{
 				Loss:         r.Faults.Loss,
 				Duplicate:    r.Faults.Duplicate,
 				Reorder:      r.Faults.Reorder,
 				ReorderDelay: r.Faults.ReorderDelay(),
 			}), nil
 		}
-		return NewVivaldiSharded(m, vivaldi.Config{Space: space}, seed, sh), nil
+		return NewVivaldiSharded(m, cfg, seed, sh), nil
 	case SystemNPS:
 		cfg := nps.Config{
 			Security:         r.Security,

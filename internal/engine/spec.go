@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/latency"
+	"repro/internal/vivaldi"
 )
 
 // RunSpec fully determines one simulated run (shared by all repetitions of
@@ -32,6 +33,14 @@ type RunSpec struct {
 	// with the access-link height component.
 	Dims   int
 	Height bool
+
+	// Harden enables serf's production Vivaldi refinements for this run
+	// (latency-filter medians, distance adjustment, gravity, neighbor
+	// decay — see vivaldi.Hardening). The zero value keeps the paper's
+	// plain algorithm bit-identically; non-zero values are Vivaldi-only
+	// (Validate rejects them on NPS series). The height vector rides the
+	// existing Height/Dims knobs, since it is an embedding-space choice.
+	Harden vivaldi.Hardening
 
 	// Layers is the NPS layer count; 0 keeps the default (3).
 	Layers int
@@ -168,10 +177,14 @@ const (
 
 // SeriesSpec declares one curve of a figure: a label plus the runs that
 // produce its points. Time-series and CDF outputs take exactly one run;
-// sweep outputs take one run per x-value.
+// sweep outputs take one run per x-value. System, when non-empty,
+// overrides the scenario's coordinate system for this series — the
+// multi-system overlay figures (hardenedOverlay) chart plain Vivaldi,
+// hardened variants and NPS side by side in one reducer pass.
 type SeriesSpec struct {
 	Label  string
 	Select SelectKind
+	System SystemKind // optional override of ScenarioSpec.System
 	Runs   []RunSpec
 }
 
@@ -219,6 +232,15 @@ type ScenarioSpec struct {
 	Custom func(s Scale, pool *Pool) *Result
 }
 
+// EffectiveSystem resolves the coordinate system a series runs on: the
+// series' own override when set, the scenario's system otherwise.
+func (sp ScenarioSpec) EffectiveSystem(s SeriesSpec) SystemKind {
+	if s.System != "" {
+		return s.System
+	}
+	return sp.System
+}
+
 // Validate checks structural consistency: a system (or Custom), at least
 // one series, and the per-output run-count rules.
 func (sp ScenarioSpec) Validate() error {
@@ -235,6 +257,10 @@ func (sp ScenarioSpec) Validate() error {
 		return fmt.Errorf("engine: scenario %s: no series", sp.Name)
 	}
 	for _, s := range sp.Series {
+		sys := sp.EffectiveSystem(s)
+		if sys != SystemVivaldi && sys != SystemNPS {
+			return fmt.Errorf("engine: scenario %s: series %q: unknown system %q", sp.Name, s.Label, sys)
+		}
 		if len(s.Runs) == 0 {
 			return fmt.Errorf("engine: scenario %s: series %q has no runs", sp.Name, s.Label)
 		}
@@ -245,8 +271,16 @@ func (sp ScenarioSpec) Validate() error {
 			if _, err := ParseExecBackend(string(r.Backend)); err != nil {
 				return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
 			}
-			if r.Backend == BackendLive && sp.System != SystemVivaldi {
+			if r.Backend == BackendLive && sys != SystemVivaldi {
 				return fmt.Errorf("engine: scenario %s: series %q: the live backend implements vivaldi only", sp.Name, s.Label)
+			}
+			if r.Harden.Enabled() {
+				if sys != SystemVivaldi {
+					return fmt.Errorf("engine: scenario %s: series %q: hardening options apply to vivaldi only", sp.Name, s.Label)
+				}
+				if err := r.Harden.Validate(); err != nil {
+					return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
+				}
 			}
 			if r.Faults != (FaultSpec{}) {
 				if err := r.Faults.validate(); err != nil {
@@ -257,7 +291,7 @@ func (sp ScenarioSpec) Validate() error {
 				}
 			}
 			if r.Schedule != nil {
-				if err := r.Schedule.Validate(sp.System); err != nil {
+				if err := r.Schedule.Validate(sys); err != nil {
 					return fmt.Errorf("engine: scenario %s: series %q: %w", sp.Name, s.Label, err)
 				}
 			}
@@ -286,6 +320,11 @@ func (sp ScenarioSpec) SupportsLive() error {
 	}
 	if sp.System != SystemVivaldi {
 		return fmt.Errorf("scenario %s cannot run on the live backend (vivaldi only)", sp.Name)
+	}
+	for _, s := range sp.Series {
+		if sp.EffectiveSystem(s) != SystemVivaldi {
+			return fmt.Errorf("scenario %s cannot run on the live backend (series %q is not vivaldi)", sp.Name, s.Label)
+		}
 	}
 	return nil
 }

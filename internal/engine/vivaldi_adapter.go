@@ -58,7 +58,7 @@ func (a *vivaldiAdapter) Snapshot() []coordspace.Coord { return a.sys.Coords() }
 func (a *vivaldiAdapter) Store() *coordspace.Store     { return a.sys.Store() }
 
 func (a *vivaldiAdapter) Measure(peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
-	return measure(a.sys.Substrate(), a.sys.Store(), peers, include, sh, out)
+	return measure(a.sys.Substrate(), a.sys.Store(), peers, include, a.sys.Adjustments(), sh, out)
 }
 
 func (a *vivaldiAdapter) Inject(spec AttackSpec, malicious []int, seed int64) (*Injection, error) {
@@ -118,6 +118,11 @@ func installVivaldiTaps(sys tapInstaller, spec AttackSpec, malicious []int, seed
 		}
 		inj.Target = spec.Target
 
+	case AttackFrogBoil:
+		for _, id := range malicious {
+			sys.SetTap(id, core.NewVivaldiFrogBoil(id, sys.Space(), seed))
+		}
+
 	case AttackColludeLure:
 		c := core.NewConspiracy(spec.Target, sys.Space(), repulsionScale, lureClusterNorm, seed)
 		for _, id := range malicious {
@@ -149,14 +154,16 @@ func installVivaldiTaps(sys tapInstaller, spec AttackSpec, malicious []int, seed
 
 // measure is the shared sharded measurement pass: per-node mean relative
 // error against the true matrix over fixed peer sets, swept directly off
-// the flat coordinate store (no snapshot materialisation). out is reused
-// when the caller provides it.
-func measure(m latency.Substrate, st *coordspace.Store, peers [][]int, include func(int) bool, sh Sharder, out []float64) []float64 {
+// the flat coordinate store (no snapshot materialisation). adj, when
+// non-nil, holds per-node distance adjustment terms (the hardened-Vivaldi
+// refinement) added to every predicted distance. out is reused when the
+// caller provides it.
+func measure(m latency.Substrate, st *coordspace.Store, peers [][]int, include func(int) bool, adj []float64, sh Sharder, out []float64) []float64 {
 	if out == nil {
 		out = make([]float64, st.Len())
 	}
 	sh.ForEach(st.Len(), func(_, lo, hi int) {
-		metrics.NodeErrorsStoreRange(m, st, peers, include, lo, hi, out)
+		metrics.NodeErrorsStoreRangeAdj(m, st, peers, include, adj, lo, hi, out)
 	})
 	return out
 }

@@ -40,6 +40,8 @@ func TestRegistryComplete(t *testing.T) {
 		"live1740", "liveAttack", "live5k", "live25k",
 		"campaignPartition", "campaignLoss", "campaignChurn", "campaignFlash",
 		"campaignServe", "campaignFull", "liveLoss",
+		"hardenedGridDisorder", "hardenedGridRepulse", "hardenedGridCollude",
+		"hardenedGridFrog", "hardenedOverlay",
 	}
 	for _, ext := range extras {
 		if _, ok := Get(ext); !ok {

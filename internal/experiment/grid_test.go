@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// gridSeries runs a hardened-grid scenario at the bench preset and indexes
+// its series by label.
+func gridSeries(t *testing.T, id string) map[string][]float64 {
+	t.Helper()
+	res, err := RunWith(id, tinyPreset, 0)
+	if err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	out := map[string][]float64{}
+	for _, s := range res.Series {
+		out[s.Label] = s.Y
+	}
+	return out
+}
+
+// everyPointBelow asserts a[i] < b[i] at every swept attacker fraction.
+func everyPointBelow(t *testing.T, what string, a, b []float64) {
+	t.Helper()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("%s: series lengths %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if !(a[i] < b[i]) {
+			t.Errorf("%s: point %d: %.3g is not below %.3g", what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestHardenedGridOrdering pins the defense × attack grid's headline
+// claims — each one measured true at the bench preset before being
+// asserted here:
+//
+//   - Disorder: the full hardening stack strictly improves on plain
+//     Vivaldi at every attacker fraction (the accuracy refinements soak
+//     up random coordinate lies).
+//   - Repulsion and colluding isolation: gravity alone beats plain at
+//     every fraction — the pull toward the origin is the anti-exile
+//     defense, directly countering attacks whose mechanism is unbounded
+//     coordinate inflation.
+//   - Frog-boiling: the latency filter does NOT mitigate it — filtered
+//     runs degrade at least as much as plain at every fraction. The
+//     attack's lies are self-consistent (coordinate drift matched by RTT
+//     drift), so the median filter only lags the drift and amplifies the
+//     mismatch, reproducing Chan-Tin et al.'s core observation that
+//     outlier-style defenses are the wrong tool for this attack.
+//   - Frog-boiling stays small by design: plain Vivaldi degrades far
+//     less under it than under disorder at every fraction — that is what
+//     lets the drift slip under plausibility windows.
+func TestHardenedGridOrdering(t *testing.T) {
+	disorder := gridSeries(t, "hardenedGridDisorder")
+	repulse := gridSeries(t, "hardenedGridRepulse")
+	collude := gridSeries(t, "hardenedGridCollude")
+	frog := gridSeries(t, "hardenedGridFrog")
+
+	everyPointBelow(t, "disorder: full stack vs plain", disorder["full stack"], disorder["plain"])
+	everyPointBelow(t, "repulsion: gravity vs plain", repulse["gravity rho=500"], repulse["plain"])
+	everyPointBelow(t, "collude: gravity vs plain", collude["gravity rho=500"], collude["plain"])
+
+	// Filter-vs-plain under frog-boiling: the filter must not help
+	// (measured: it is worse by two orders of magnitude).
+	plainFrog, filterFrog := frog["plain"], frog["filter w=5"]
+	if len(plainFrog) == 0 || len(plainFrog) != len(filterFrog) {
+		t.Fatalf("frog series lengths %d vs %d", len(plainFrog), len(filterFrog))
+	}
+	for i := range plainFrog {
+		if filterFrog[i] < plainFrog[i] {
+			t.Errorf("frog-boil: filter unexpectedly mitigates at point %d: %.3g < %.3g",
+				i, filterFrog[i], plainFrog[i])
+		}
+	}
+	everyPointBelow(t, "frog-boil vs disorder on plain", plainFrog, disorder["plain"])
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/coordspace"
 	"repro/internal/engine"
 	"repro/internal/latency"
+	"repro/internal/vivaldi"
 )
 
 // This file declares every paper figure as an engine.ScenarioSpec. The
@@ -58,6 +59,7 @@ func repulsionSubset(frac float64) engine.AttackSpec {
 }
 func colludeRepel() engine.AttackSpec { return engine.AttackSpec{Kind: engine.AttackColludeRepel} }
 func colludeLure() engine.AttackSpec  { return engine.AttackSpec{Kind: engine.AttackColludeLure} }
+func frogBoil() engine.AttackSpec     { return engine.AttackSpec{Kind: engine.AttackFrogBoil} }
 func combined() engine.AttackSpec     { return engine.AttackSpec{Kind: engine.AttackCombined} }
 func npsNaive(knowP float64) engine.AttackSpec {
 	return engine.AttackSpec{Kind: engine.AttackAntiDetect, KnowP: knowP}
@@ -734,6 +736,104 @@ func init() {
 		System: engine.SystemVivaldi, Output: engine.OutRatioVsX,
 		Series: []engine.SeriesSpec{lossSweep},
 	})
+
+	// ---- Hardened Vivaldi defense × attack grid ----
+	//
+	// One scenario per attack column; within each, one series per defense
+	// configuration (serf's production hardening knobs, individually and
+	// as the full stack). Each scenario's CSV is one row block of the
+	// degradation matrix: final error ratio vs malicious fraction, per
+	// defense. The plain series is bit-identical to the corresponding
+	// un-hardened sweep — every knob defaults off.
+	engine.Register(engine.ScenarioSpec{
+		Name: "hardenedGridDisorder", Figure: "Hardened disorder",
+		Title:  "Hardened Vivaldi vs injected disorder: degradation per defense config",
+		XLabel: "malicious %", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsX,
+		Series: hardenedGrid(disorder(), false),
+	})
+	engine.Register(engine.ScenarioSpec{
+		Name: "hardenedGridRepulse", Figure: "Hardened repulsion",
+		Title:  "Hardened Vivaldi vs repulsion: degradation per defense config",
+		XLabel: "malicious %", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsX,
+		Series: hardenedGrid(repulsion(), false),
+	})
+	engine.Register(engine.ScenarioSpec{
+		Name: "hardenedGridCollude", Figure: "Hardened collusion",
+		Title:  "Hardened Vivaldi vs colluding isolation: degradation per defense config",
+		XLabel: "malicious %", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsX,
+		Series: hardenedGrid(colludeRepel(), true),
+	})
+	engine.Register(engine.ScenarioSpec{
+		Name: "hardenedGridFrog", Figure: "Hardened frog-boil",
+		Title:  "Hardened Vivaldi vs frog-boiling: degradation per defense config",
+		XLabel: "malicious %", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsX,
+		Series: hardenedGrid(frogBoil(), false),
+	})
+
+	// hardenedOverlay charts the systems side by side under the same
+	// disorder sweep: plain Vivaldi, the single-knob hardened variants,
+	// the full serf stack, and NPS with its security filter — one reducer
+	// pass across two coordinate systems (SeriesSpec.System override).
+	overlay := hardenedGrid(disorder(), false)
+	npsSeries := engine.SeriesSpec{Label: "nps (security filter)", System: engine.SystemNPS}
+	for _, frac := range attackFractions {
+		npsSeries.Runs = append(npsSeries.Runs, engine.RunSpec{
+			Frac: frac, Attack: disorder(), Security: true,
+		})
+	}
+	overlay = append(overlay, npsSeries)
+	engine.Register(engine.ScenarioSpec{
+		Name: "hardenedOverlay", Figure: "Hardened overlay",
+		Title:  "Injected disorder across systems: plain vs hardened Vivaldi vs NPS",
+		XLabel: "malicious %", YLabel: "relative error ratio",
+		System: engine.SystemVivaldi, Output: engine.OutRatioVsX,
+		Series: overlay,
+	})
+}
+
+// hardenVariants are the defense columns of the hardened grid: each serf
+// refinement alone, then the full stack. The height variant rides
+// RunSpec.Dims/Height — the height vector is an embedding-space choice,
+// not a Hardening field (see vivaldi.Hardening).
+var hardenVariants = []struct {
+	label  string
+	harden vivaldi.Hardening
+	height bool
+}{
+	{"plain", vivaldi.Hardening{}, false},
+	{"filter w=5", vivaldi.Hardening{LatencyWindow: 5}, false},
+	{"height", vivaldi.Hardening{}, true},
+	{"adjust w=10", vivaldi.Hardening{AdjustmentWindow: 10}, false},
+	{"gravity rho=500", vivaldi.Hardening{GravityRho: 500}, false},
+	{"decay w=5 t=200", vivaldi.Hardening{LatencyWindow: 5, NeighborDecayTicks: 200}, false},
+	{"full stack", vivaldi.Hardening{
+		LatencyWindow: 5, AdjustmentWindow: 10, GravityRho: 500, NeighborDecayTicks: 200,
+	}, true},
+}
+
+// hardenedGrid builds one attack column of the defense × attack grid: one
+// series per defense configuration, one run per malicious fraction.
+func hardenedGrid(attack engine.AttackSpec, excludeTarget bool) []engine.SeriesSpec {
+	var out []engine.SeriesSpec
+	for _, v := range hardenVariants {
+		s := engine.SeriesSpec{Label: v.label}
+		for _, frac := range attackFractions {
+			r := engine.RunSpec{
+				Frac: frac, Attack: attack,
+				Harden: v.harden, ExcludeTarget: excludeTarget,
+			}
+			if v.height {
+				r.Dims, r.Height = 2, true
+			}
+			s.Runs = append(s.Runs, r)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // disorderPhase is the campaign shorthand: a disorder attack over a

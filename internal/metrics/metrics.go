@@ -128,6 +128,16 @@ func NodeErrorsStore(m latency.Substrate, st *coordspace.Store, peers [][]int, i
 // substrate recomputes its row in one tight kernel sweep rather than
 // interleaved with the error arithmetic.
 func NodeErrorsStoreRange(m latency.Substrate, st *coordspace.Store, peers [][]int, include func(int) bool, lo, hi int, out []float64) {
+	NodeErrorsStoreRangeAdj(m, st, peers, include, nil, lo, hi, out)
+}
+
+// NodeErrorsStoreRangeAdj is NodeErrorsStoreRange with per-node distance
+// adjustment terms (serf's hardened-Vivaldi refinement): each predicted
+// distance becomes dist + adj[i] + adj[j], falling back to the raw dist
+// when the adjusted estimate is not positive (serf's rule — a negative
+// predicted RTT is meaningless). adj == nil means no adjustment and is the
+// exact NodeErrorsStoreRange sweep. Equally allocation-free.
+func NodeErrorsStoreRangeAdj(m latency.Substrate, st *coordspace.Store, peers [][]int, include func(int) bool, adj []float64, lo, hi int, out []float64) {
 	var dists [64]float64 // per-chunk distance batch, stack-allocated
 	// The RTT batch crosses the Substrate interface boundary, which
 	// escape analysis must treat as leaking — a stack array here would
@@ -158,7 +168,13 @@ func NodeErrorsStoreRange(m latency.Substrate, st *coordspace.Store, peers [][]i
 				if actual <= 0 {
 					continue
 				}
-				sum += RelativeError(actual, dists[k])
+				pred := dists[k]
+				if adj != nil {
+					if a := pred + adj[i] + adj[j]; a > 0 {
+						pred = a
+					}
+				}
+				sum += RelativeError(actual, pred)
 				cnt++
 			}
 		}

@@ -1,0 +1,148 @@
+package vivaldi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coordspace"
+	"repro/internal/metrics"
+)
+
+// shadowWindow is the reference implementation of one latency-filter ring:
+// a plain slice of the last up-to-w retained samples, with the same decay
+// rule, fed to metrics.MedianExactInto on a fresh buffer each call.
+type shadowWindow struct {
+	w, decay int
+	samples  []float64
+	last     int
+}
+
+func (s *shadowWindow) push(tick int, rtt float64) float64 {
+	if s.decay > 0 && s.last+s.decay < tick {
+		s.samples = s.samples[:0]
+	}
+	s.last = tick
+	s.samples = append(s.samples, rtt)
+	if len(s.samples) > s.w {
+		s.samples = s.samples[1:]
+	}
+	return metrics.MedianExactInto(s.samples, make([]float64, 0, s.w))
+}
+
+// TestFilterMedianMatchesMedianExactInto drives both latency-filter
+// implementations — the population's flat rings and the live Node's
+// per-peer map rings — with randomized RTT streams, window widths and
+// silence gaps, and checks every returned median against the reference
+// window bit-for-bit. This pins the ring bookkeeping (wraparound, fill
+// count, decay reset): the retained multiset must always be exactly the
+// last up-to-W samples since the last decay.
+func TestFilterMedianMatchesMedianExactInto(t *testing.T) {
+	rng := newTestRNG(99)
+	space := coordspace.Euclidean(3)
+	for trial := 0; trial < 50; trial++ {
+		w := 1 + rng.Intn(MaxWindow)
+		decay := 0
+		if trial%2 == 1 {
+			decay = 1 + rng.Intn(30)
+		}
+		h := Hardening{LatencyWindow: w, NeighborDecayTicks: decay}
+
+		// Two nodes with two springs each: exercises the spring-base
+		// indexing of the flat layout.
+		neighbors := [][]int{{1, 2}, {0, 2}, {0, 1}}
+		hs := newHardenState(h, space, neighbors)
+		nh := newNodeHarden(h, space)
+
+		shadows := map[[2]int]*shadowWindow{}
+		nodeShadows := map[int]*shadowWindow{}
+		clock := 0
+		for step := 0; step < 400; step++ {
+			tick := step
+			if rng.Intn(8) == 0 {
+				tick += rng.Intn(50) // silence gap: decay must fire
+			}
+			step = tick
+			i := rng.Intn(len(neighbors))
+			k := rng.Intn(len(neighbors[i]))
+			rtt := 1 + 500*rng.Float64()
+
+			got := hs.filterRTT(i, k, tick, rtt)
+			key := [2]int{i, k}
+			if shadows[key] == nil {
+				shadows[key] = &shadowWindow{w: w, decay: decay}
+			}
+			want := shadows[key].push(tick, rtt)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("trial %d w=%d decay=%d: population filter median %v, reference %v",
+					trial, w, decay, got, want)
+			}
+
+			// The Node filter decays on its applied-sample counter, which
+			// advances by one per call.
+			clock++
+			ngot := nh.filterRTT(i, rtt) // peer id = i
+			if nodeShadows[i] == nil {
+				nodeShadows[i] = &shadowWindow{w: w, decay: decay}
+			}
+			nwant := nodeShadows[i].push(clock, rtt)
+			if math.Float64bits(ngot) != math.Float64bits(nwant) {
+				t.Fatalf("trial %d w=%d decay=%d: node filter median %v, reference %v",
+					trial, w, decay, ngot, nwant)
+			}
+		}
+	}
+}
+
+// TestHardeningValidateAndString covers the option-surface plumbing.
+func TestHardeningValidateAndString(t *testing.T) {
+	bad := []Hardening{
+		{LatencyWindow: -1},
+		{LatencyWindow: MaxWindow + 1},
+		{AdjustmentWindow: -1},
+		{AdjustmentWindow: MaxWindow + 1},
+		{GravityRho: -1},
+		{GravityRho: math.NaN()},
+		{NeighborDecayTicks: -1},
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", h)
+		}
+	}
+	if (Hardening{}).Enabled() {
+		t.Error("zero Hardening reports enabled")
+	}
+	if got := (Hardening{}).String(); got != "off" {
+		t.Errorf("zero Hardening renders %q, want off", got)
+	}
+	full := Hardening{LatencyWindow: 5, AdjustmentWindow: 10, GravityRho: 500, NeighborDecayTicks: 200}
+	if err := full.Validate(); err != nil {
+		t.Errorf("Validate rejected the full stack: %v", err)
+	}
+	if got, want := full.String(), "filter=5 adjust=10 gravity=500 decay=200"; got != want {
+		t.Errorf("full stack renders %q, want %q", got, want)
+	}
+}
+
+// TestGravityPullsExileBack checks the mitigation semantics end to end: a
+// node displaced to exile scale is drawn back toward the origin by the
+// gravity rule, while a node at honest norms is essentially unmoved.
+func TestGravityPullsExileBack(t *testing.T) {
+	space := coordspace.Euclidean(3)
+	hs := newHardenState(Hardening{GravityRho: 500}, space, [][]int{{}})
+	st := coordspace.NewStore(space, 1)
+	dir := make([]float64, st.Stride())
+
+	st.SetCoordAt(0, coordspace.Coord{V: []float64{50000, 0, 0}})
+	before := st.NormAt(0)
+	hs.applyGravity(st, 0, dir)
+	if after := st.NormAt(0); !(after < before) {
+		t.Fatalf("gravity did not pull an exiled node inward: %v -> %v", before, after)
+	}
+
+	st.SetCoordAt(0, coordspace.Coord{V: []float64{30, 0, 0}})
+	hs.applyGravity(st, 0, dir)
+	if norm := st.NormAt(0); math.Abs(norm-30) > 30*0.02 {
+		t.Fatalf("gravity visibly moved an honest-norm node: %v", norm)
+	}
+}

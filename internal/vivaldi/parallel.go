@@ -20,6 +20,7 @@ type parallelScratch struct {
 	frozenErrs []float64         // error estimates at tick start
 	srcs       []int             // identity indices, for batched lookups
 	targets    []int             // probe target per node (-1 = none)
+	targetIdx  []int             // drawn spring index per node (filter ring key)
 	rtts       []float64         // true RTT of each node's probe
 	resps      []ProbeResponse   // what each prober observed
 	view       *frozenView       // reused tick-start View
@@ -58,6 +59,7 @@ func (s *System) scratch() *parallelScratch {
 		frozenErrs: make([]float64, n),
 		srcs:       make([]int, n),
 		targets:    make([]int, n),
+		targetIdx:  make([]int, n),
 		rtts:       make([]float64, n),
 		resps:      make([]ProbeResponse, n),
 	}
@@ -78,7 +80,8 @@ func (s *System) scratch() *parallelScratch {
 				sc.targets[i] = -1
 				continue
 			}
-			j := nbrs[s.rngs[i].Intn(len(nbrs))]
+			idx := s.rngs[i].Intn(len(nbrs))
+			j := nbrs[idx]
 			if len(s.cuts) != 0 && s.linkBlocked(i, j) {
 				// Probe lost to a partition: no sample this tick, but the
 				// target draw stays consumed so per-node streams keep
@@ -88,6 +91,7 @@ func (s *System) scratch() *parallelScratch {
 				continue
 			}
 			sc.targets[i] = j
+			sc.targetIdx[i] = idx
 		}
 	}
 
@@ -109,21 +113,16 @@ func (s *System) scratch() *parallelScratch {
 		}
 	}
 
-	// Phase 4: apply the update rule in place on the live store. Each
-	// node touches only its own slot, error, RNG stream and dir scratch.
+	// Phase 4: apply the hardened update pipeline in place on the live
+	// store. Each node touches only its own slot, error, RNG stream, dir
+	// scratch and (node, spring)-owned hardening rings, so the phase stays
+	// race-free with hardening on.
 	sc.phase4 = func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if sc.targets[i] < 0 || s.taps[i] != nil {
 				continue // no probe, or malicious (does not move itself)
 			}
-			resp := sc.resps[i]
-			if s.cfg.SampleGuard != nil {
-				var ok bool
-				if resp, ok = s.cfg.SampleGuard(i, resp, sc.view); !ok {
-					continue
-				}
-			}
-			applyRule(s.cfg, s.store, i, &s.errs[i], s.rngs[i], resp, s.dirAt(i))
+			s.applySample(i, sc.targetIdx[i], sc.resps[i], sc.view)
 		}
 	}
 

@@ -45,6 +45,29 @@ func TestStepParallelSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestStepParallelHardenedAllocs extends the steady-state guard to the
+// full hardening stack: filter, adjustment, gravity and decay all work
+// over preallocated (node, spring)-owned rings, so once warm the hardened
+// tick must stay within a small constant allocation budget (the ceiling
+// matches the Makefile's bench-guard TICK_ALLOC_CEILING).
+func TestStepParallelHardenedAllocs(t *testing.T) {
+	m := latency.GenerateKingLike(latency.DefaultKingLike(200), 5)
+	sys := NewSystem(m, Config{Harden: Hardening{
+		LatencyWindow:      5,
+		AdjustmentWindow:   10,
+		GravityRho:         500,
+		NeighborDecayTicks: 200,
+	}}, 11)
+	sh := serialSharder{}
+	for i := 0; i < 10; i++ {
+		sys.StepParallel(sh)
+	}
+	allocs := testing.AllocsPerRun(20, func() { sys.StepParallel(sh) })
+	if allocs > 64 {
+		t.Fatalf("steady-state hardened StepParallel tick allocates %.1f times, want <= 64", allocs)
+	}
+}
+
 // TestNodeUpdateAllocs: the standalone per-host state machine shares the
 // same flat kernel and must be allocation-free per sample too (it runs
 // inside the live UDP daemon's receive path).

@@ -65,6 +65,14 @@ type Config struct {
 	// nil; internal/defense installs guards here to evaluate the
 	// mitigations sketched as future work in §6.
 	SampleGuard func(node int, resp ProbeResponse, view View) (ProbeResponse, bool)
+
+	// Harden enables serf's production refinements (latency-filter
+	// medians, distance adjustment, gravity, neighbor decay — see
+	// Hardening). The zero value keeps the paper's plain algorithm,
+	// bit-identically. When the latency filter is on, the guard inspects
+	// the *filtered* RTT: the filter models the measurement layer, the
+	// guard models admission policy on what that layer reports.
+	Harden Hardening
 }
 
 func (c Config) withDefaults() Config {
@@ -134,14 +142,16 @@ func clampErr(cfg Config, e float64) float64 {
 // scratch for the unit vector, so a steady-state update allocates nothing.
 // Samples with non-positive RTT or invalid remote coordinates are ignored,
 // and a displacement that would produce a non-finite coordinate leaves
-// local state untouched, however hostile the sample.
-func applyRule(cfg Config, st *coordspace.Store, i int, errp *float64, rng *rand.Rand, resp ProbeResponse, dir []float64) {
+// local state untouched, however hostile the sample. The return reports
+// whether the sample was applied — the hardening pipeline's adjustment
+// and gravity stages run only on applied samples.
+func applyRule(cfg Config, st *coordspace.Store, i int, errp *float64, rng *rand.Rand, resp ProbeResponse, dir []float64) bool {
 	if resp.RTT <= 0 || !cfg.Space.Compatible(resp.Coord) {
-		return
+		return false
 	}
 	ej := resp.Error
 	if math.IsNaN(ej) || ej < 0 {
-		return
+		return false
 	}
 	if ej < cfg.MinError {
 		ej = cfg.MinError
@@ -150,7 +160,7 @@ func applyRule(cfg Config, st *coordspace.Store, i int, errp *float64, rng *rand
 	w := ei / (ei + ej)
 	dist := st.UnitToCoord(i, resp.Coord, dir, rng)
 	if math.IsInf(dist, 0) {
-		return // absurd remote coordinate; distance overflowed
+		return false // absurd remote coordinate; distance overflowed
 	}
 	es := math.Abs(dist-resp.RTT) / resp.RTT
 	delta := cfg.Cc * w
@@ -158,27 +168,41 @@ func applyRule(cfg Config, st *coordspace.Store, i int, errp *float64, rng *rand
 		delta = cfg.ConstantDelta
 	}
 	if !st.DisplaceAt(i, dir, delta*(resp.RTT-dist)) {
-		return // never corrupt local state
+		return false // never corrupt local state
 	}
 	*errp = clampErr(cfg, es*w+ei*(1-w))
+	return true
 }
 
 // Node is the per-host Vivaldi state machine: a one-slot coordinate store
 // driven by the same flat update kernel the population simulation uses, so
 // a steady-state Update allocates nothing.
 type Node struct {
-	cfg Config
-	st  *coordspace.Store
-	err float64
-	rng *rand.Rand
-	dir []float64 // stride-sized scratch for the update kernel
+	cfg  Config
+	st   *coordspace.Store
+	err  float64
+	rng  *rand.Rand
+	dir  []float64   // stride-sized scratch for the update kernel
+	hard *nodeHarden // nil unless Config.Harden enables something
 }
 
 // NewNode returns a node at the origin with the initial error estimate.
 func NewNode(cfg Config, rng *rand.Rand) *Node {
 	cfg = cfg.withDefaults()
+	if cfg.Harden.Enabled() {
+		if err := cfg.Harden.Validate(); err != nil {
+			panic(err.Error())
+		}
+	}
 	st := coordspace.NewStore(cfg.Space, 1)
-	return &Node{cfg: cfg, st: st, err: cfg.InitialError, rng: rng, dir: make([]float64, st.Stride())}
+	return &Node{
+		cfg:  cfg,
+		st:   st,
+		err:  cfg.InitialError,
+		rng:  rng,
+		dir:  make([]float64, st.Stride()),
+		hard: newNodeHarden(cfg.Harden, cfg.Space),
+	}
 }
 
 // Coord returns a copy of the node's current coordinate.
@@ -199,9 +223,43 @@ func (n *Node) SetCoord(c coordspace.Coord) { n.st.SetCoordAt(0, c) }
 // SetError overrides the node's local error estimate.
 func (n *Node) SetError(e float64) { n.err = clampErr(n.cfg, e) }
 
-// Update applies one measurement sample (see applyRule).
-func (n *Node) Update(resp ProbeResponse) {
-	applyRule(n.cfg, n.st, 0, &n.err, n.rng, resp, n.dir)
+// Update applies one measurement sample (see applyRule) with no peer
+// attribution — the per-spring latency filter is skipped because the
+// sample cannot be assigned a ring. Callers that know the responder (the
+// live daemon keys by source host index) use UpdateFrom instead.
+func (n *Node) Update(resp ProbeResponse) { n.UpdateFrom(-1, resp) }
+
+// UpdateFrom applies one measurement sample attributed to peer, running
+// the hardened pipeline when Config.Harden enables it: per-peer latency
+// filter → §3.2 update rule → adjustment and gravity on applied samples —
+// the same sequence System.applySample runs, minus the population-level
+// sample guard (admission policy on a live host lives in the daemon, not
+// here). peer < 0 skips the filter.
+func (n *Node) UpdateFrom(peer int, resp ProbeResponse) {
+	if n.hard != nil && n.hard.opts.LatencyWindow > 0 && peer >= 0 && resp.RTT > 0 {
+		resp.RTT = n.hard.filterRTT(peer, resp.RTT)
+	}
+	if !applyRule(n.cfg, n.st, 0, &n.err, n.rng, resp, n.dir) {
+		return
+	}
+	if n.hard != nil {
+		if n.hard.opts.AdjustmentWindow > 0 {
+			n.hard.updateAdjustment(n.st, resp)
+		}
+		if n.hard.opts.GravityRho > 0 {
+			n.hard.applyGravity(n.st, n.dir)
+		}
+	}
+}
+
+// Adjustment returns the node's current distance adjustment term — 0 when
+// the adjustment refinement is off. Like System.Adjustments, it applies
+// to distance estimates only, never to the update rule.
+func (n *Node) Adjustment() float64 {
+	if n.hard == nil {
+		return 0
+	}
+	return n.hard.adj
 }
 
 // SyncInto copies the node's coordinate into slot i of dst (which must
@@ -215,11 +273,15 @@ func (n *Node) SyncInto(dst *coordspace.Store, i int) {
 func (n *Node) Config() Config { return n.cfg }
 
 // Reset returns the node to its just-joined state (origin coordinate,
-// initial error) — the per-host half of modelling churn on a live
-// population: the departing host's address is taken by a fresh join.
+// initial error, cleared hardening windows) — the per-host half of
+// modelling churn on a live population: the departing host's address is
+// taken by a fresh join.
 func (n *Node) Reset() {
 	n.st.SetZeroAt(0)
 	n.err = n.cfg.InitialError
+	if n.hard != nil {
+		n.hard.reset()
+	}
 }
 
 // Tap is the probe-path interception point used by the attack framework.
@@ -258,6 +320,7 @@ type System struct {
 	cutSeq    int
 	dirBuf    []float64        // n×stride unit-vector scratch for the update kernel
 	par       *parallelScratch // reusable buffers for StepParallel
+	hard      *hardenState     // nil unless Config.Harden enables something
 }
 
 // linkCut is one active partition of the probe graph: probes between the
@@ -315,6 +378,12 @@ func NewSystemSharded(m latency.Substrate, cfg Config, seed int64, sh Sharder) *
 		s.errs[i] = cfg.InitialError
 	}
 	s.neighbors = NeighborSets(m, cfg, seed, sh)
+	if cfg.Harden.Enabled() {
+		if err := cfg.Harden.Validate(); err != nil {
+			panic(err.Error())
+		}
+		s.hard = newHardenState(cfg.Harden, cfg.Space, s.neighbors)
+	}
 	return s
 }
 
@@ -484,12 +553,49 @@ func (s *System) Substrate() latency.Substrate { return s.m }
 // Neighbors returns node i's spring set (not a copy; do not mutate).
 func (s *System) Neighbors(i int) []int { return s.neighbors[i] }
 
-// ApplyUpdate applies one measurement sample to node i using the §3.2
+// ApplyUpdate applies one measurement sample to node i using the raw §3.2
 // update rule — the per-node entry point for the event-driven runner,
-// tests and attack bootstraps. Simulations go through Step/StepParallel.
+// tests and attack bootstraps. It bypasses the hardened pipeline (no
+// per-spring filter state is attributable to an injected sample) and the
+// sample guard, exactly as it did before hardening existed. Simulations go
+// through Step/StepParallel, which route via applySample.
 func (s *System) ApplyUpdate(i int, resp ProbeResponse) {
 	s.dirs()
 	applyRule(s.cfg, s.store, i, &s.errs[i], s.rngs[i], resp, s.dirAt(i))
+}
+
+// applySample runs the hardened update pipeline for one probe response
+// observed by node i on its spring springIdx: latency filter → sample
+// guard → §3.2 update rule → adjustment and gravity on applied samples.
+// The filter precedes the guard deliberately — the filter models the
+// measurement layer, the guard models admission policy on what that layer
+// reports (see Config.Harden). view is what the guard inspects: the live
+// system on the serial path, the frozen snapshot under StepParallel.
+//
+// With hardening off this reduces exactly to the pre-hardening guard +
+// update sequence: same branches, same RNG consumption, bit-identical
+// coordinates (pinned by the equivalence suite in internal/engine).
+func (s *System) applySample(i, springIdx int, resp ProbeResponse, view View) {
+	if s.hard != nil && s.hard.opts.LatencyWindow > 0 && springIdx >= 0 && resp.RTT > 0 {
+		resp.RTT = s.hard.filterRTT(i, springIdx, s.tick, resp.RTT)
+	}
+	if s.cfg.SampleGuard != nil {
+		var ok bool
+		if resp, ok = s.cfg.SampleGuard(i, resp, view); !ok {
+			return
+		}
+	}
+	if !applyRule(s.cfg, s.store, i, &s.errs[i], s.rngs[i], resp, s.dirAt(i)) {
+		return
+	}
+	if s.hard != nil {
+		if s.hard.opts.AdjustmentWindow > 0 {
+			s.hard.updateAdjustment(s.store, i, resp)
+		}
+		if s.hard.opts.GravityRho > 0 {
+			s.hard.applyGravity(s.store, i, s.dirAt(i))
+		}
+	}
 }
 
 // SetNodeCoord overrides node i's coordinate (tests and attack bootstrap).
@@ -499,11 +605,27 @@ func (s *System) SetNodeCoord(i int, c coordspace.Coord) { s.store.SetCoordAt(i,
 func (s *System) SetNodeError(i int, e float64) { s.errs[i] = clampErr(s.cfg, e) }
 
 // ResetNode returns node i to its just-joined state (origin coordinate,
-// initial error). Experiments use it to model churn: a departing host's
-// slot is taken by a fresh join that must re-converge from scratch.
+// initial error, cleared hardening windows). Experiments use it to model
+// churn: a departing host's slot is taken by a fresh join that must
+// re-converge from scratch.
 func (s *System) ResetNode(i int) {
 	s.store.SetZeroAt(i)
 	s.errs[i] = s.cfg.InitialError
+	if s.hard != nil {
+		s.hard.resetNode(i, len(s.neighbors[i]))
+	}
+}
+
+// Adjustments returns the per-node distance adjustment terms, or nil when
+// the adjustment refinement is off. The terms apply to distance
+// *estimates* — the engine's measurement pass adds adj[i]+adj[j] to every
+// predicted distance — never to the update rule itself (serf's split).
+// The returned slice aliases live state; treat it as read-only.
+func (s *System) Adjustments() []float64 {
+	if s.hard == nil {
+		return nil
+	}
+	return s.hard.adj
 }
 
 // ApplyPartition severs the probe links between node sets a and b (both
@@ -589,7 +711,8 @@ func (s *System) Step() {
 		if len(nbrs) == 0 {
 			continue
 		}
-		j := nbrs[s.rngs[i].Intn(len(nbrs))]
+		idx := s.rngs[i].Intn(len(nbrs))
+		j := nbrs[idx]
 		if len(s.cuts) != 0 && s.linkBlocked(i, j) {
 			continue // probe lost to a partition; the target draw is kept
 		}
@@ -597,13 +720,7 @@ func (s *System) Step() {
 		if s.taps[i] != nil {
 			continue // malicious nodes do not move themselves
 		}
-		if s.cfg.SampleGuard != nil {
-			var ok bool
-			if resp, ok = s.cfg.SampleGuard(i, resp, s); !ok {
-				continue
-			}
-		}
-		applyRule(s.cfg, s.store, i, &s.errs[i], s.rngs[i], resp, s.dirAt(i))
+		s.applySample(i, idx, resp, s)
 	}
 }
 

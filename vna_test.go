@@ -119,8 +119,8 @@ func TestRunExperimentWithWorkers(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 46 { // 25 paper figures + 3 extensions + 7 scaling specs + 5 live-backend specs + 6 campaign specs
-		t.Fatalf("listed %d experiments, want 46", len(exps))
+	if len(exps) != 51 { // 25 paper figures + 3 extensions + 7 scaling specs + 5 live-backend specs + 6 campaign specs + 5 hardened-defense specs
+		t.Fatalf("listed %d experiments, want 51", len(exps))
 	}
 }
 
